@@ -1,0 +1,83 @@
+"""Ablation — lazy vs eager weight maintenance on a dynamic MVAG.
+
+Not a paper table (the paper lists dynamic MVAGs as future work, §VII);
+this bench quantifies the design the paper sketches: drift-triggered lazy
+re-optimization with warm-started incremental objective evaluation should
+match eager per-batch re-fitting in quality at a fraction of the expensive
+objective evaluations.
+"""
+
+import numpy as np
+
+from harness import emit, format_table
+from repro import SGLAPlus
+from repro.cluster.spectral import spectral_clustering
+from repro.datasets.generator import generate_mvag
+from repro.dynamic import DynamicMVAG, EdgeUpdate, LazySGLA
+from repro.evaluation.clustering_metrics import accuracy
+
+N_BATCHES = 6
+EDGES_PER_BATCH = 80
+
+
+def _run_stream():
+    mvag = generate_mvag(
+        n_nodes=400,
+        n_clusters=3,
+        graph_view_strengths=[0.85, 0.45],
+        attribute_view_dims=[24],
+        seed=3,
+    )
+    dynamic = DynamicMVAG(mvag, knn_k=10)
+    rng = np.random.default_rng(0)
+
+    lazy = LazySGLA(k=3, drift_threshold=0.10).fit(dynamic)
+    rows = []
+    lazy_evaluations = 0
+    eager_evaluations = 0
+    for batch in range(1, N_BATCHES + 1):
+        updates = []
+        while len(updates) < EDGES_PER_BATCH:
+            u, v = int(rng.integers(400)), int(rng.integers(400))
+            if u != v:
+                updates.append(EdgeUpdate(view=1, u=u, v=v))
+        dynamic.apply_edge_updates(updates)
+
+        report = lazy.refresh(dynamic)
+        lazy_evaluations += report.n_objective_evaluations
+        lazy_acc = accuracy(
+            mvag.labels,
+            spectral_clustering(lazy.laplacian(dynamic), 3, seed=0),
+        )
+        eager = SGLAPlus().fit(dynamic.view_laplacians(), k=3)
+        eager_evaluations += eager.n_objective_evaluations
+        eager_acc = accuracy(
+            mvag.labels, spectral_clustering(eager.laplacian, 3, seed=0)
+        )
+        rows.append(
+            (batch, report.drift, "yes" if report.refitted else "no",
+             lazy_acc, eager_acc)
+        )
+    return rows, lazy_evaluations, eager_evaluations, lazy.total_refits
+
+
+def test_ablation_lazy_updates(benchmark, capsys):
+    rows, lazy_evals, eager_evals, refits = benchmark.pedantic(
+        _run_stream, rounds=1, iterations=1
+    )
+    table = format_table(
+        ["batch", "drift", "refit", "Acc (lazy)", "Acc (eager)"],
+        rows,
+        title="Ablation — lazy vs eager weight maintenance (future work §VII)",
+    )
+    summary = (
+        f"\nexpensive objective evaluations: lazy={lazy_evals} "
+        f"eager={eager_evals}  (refits triggered: {refits}/{len(rows)})"
+    )
+    emit("ablation_lazy_updates", table + summary, capsys)
+
+    # Shape assertions: lazy costs less and loses (almost) no quality.
+    assert lazy_evals < eager_evals
+    lazy_mean = np.mean([row[3] for row in rows])
+    eager_mean = np.mean([row[4] for row in rows])
+    assert lazy_mean >= eager_mean - 0.05

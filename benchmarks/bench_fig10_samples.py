@@ -1,0 +1,69 @@
+"""Fig. 10 — varying the number of weight-vector samples in SGLA+.
+
+Regenerates the delta-s sweep ({-2, -1, 0, +2, +5, +10, +20} around the
+default r + 1 samples): Acc, NMI, and running time per dataset.
+
+Expected shape (paper): quality rises from delta_s = -2 to 0 and saturates
+afterwards, while time grows with extra samples — i.e. r + 1 samples are
+sufficient in practice.
+"""
+
+import time
+
+from harness import bench_mvag, emit, format_table, profile_config
+from repro.cluster.spectral import spectral_clustering
+from repro.core.sgla_plus import SGLAPlus
+from repro.evaluation.clustering_metrics import (
+    accuracy,
+    normalized_mutual_information,
+)
+
+DATASETS = ["yelp_small", "imdb_small", "dblp_small", "amazon_computers_small"]
+DELTAS = [-2, -1, 0, 2, 5, 10, 20]
+
+
+def _sweep():
+    results = {}
+    for name in DATASETS:
+        mvag = bench_mvag(name)
+        config = profile_config(name)
+        per_delta = {}
+        for delta in DELTAS:
+            start = time.perf_counter()
+            result = SGLAPlus(config).fit(mvag, delta_samples=delta)
+            labels = spectral_clustering(
+                result.laplacian, mvag.n_classes, seed=0
+            )
+            per_delta[delta] = {
+                "acc": accuracy(mvag.labels, labels),
+                "nmi": normalized_mutual_information(mvag.labels, labels),
+                "seconds": time.perf_counter() - start,
+                "evals": result.n_objective_evaluations,
+            }
+        results[name] = per_delta
+    return results
+
+
+def test_fig10_samples(benchmark, capsys):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = []
+    for name, per_delta in results.items():
+        for delta, cells in per_delta.items():
+            rows.append(
+                (name, f"{delta:+d}", cells["acc"], cells["nmi"],
+                 cells["seconds"], cells["evals"])
+            )
+    table = format_table(
+        ["dataset", "delta_s", "Acc", "NMI", "time (s)", "objective evals"],
+        rows,
+        title="Fig. 10 — varying the number of weight-vector samples",
+    )
+    emit("fig10_samples", table, capsys)
+
+    for name, per_delta in results.items():
+        # More samples means more expensive objective evaluations.
+        assert per_delta[20]["evals"] > per_delta[0]["evals"]
+        # Quality at the default must be within reach of the sweep's best
+        # (the saturation claim).
+        best_acc = max(cells["acc"] for cells in per_delta.values())
+        assert per_delta[0]["acc"] >= best_acc - 0.25

@@ -1,0 +1,65 @@
+"""Fig. 12 — embedding visualization (t-SNE), quantified.
+
+The paper shows t-SNE scatter plots of embeddings on RM and Yelp, arguing
+SGLA+ separates the ground-truth classes more cleanly than the strongest
+baselines.  Headless here, we compute the same 2-D t-SNE projections and
+report quantitative separation scores (silhouette and centroid-separation)
+per method — the same ordering the visual conveys (DESIGN.md §5).
+"""
+
+from harness import bench_mvag, emit, format_table, run_embedding
+from repro.analysis.separation import class_separation, silhouette_score
+from repro.analysis.tsne import tsne
+
+DATASETS = ["rm", "yelp_small"]
+METHODS = ["sgla+", "lmgec", "pane"]
+TSNE_ITERATIONS = 300
+
+
+def _scores():
+    import numpy as np
+
+    results = []
+    for dataset in DATASETS:
+        mvag = bench_mvag(dataset)
+        for method in METHODS:
+            embedding, _ = run_embedding(method, dataset, dim=32, seed=0)
+            # L2-normalize rows before t-SNE (cosine geometry): embedding
+            # row norms reflect hubness, not class identity, and would
+            # dominate the Euclidean affinities otherwise.
+            norms = np.linalg.norm(embedding, axis=1)
+            norms[norms == 0] = 1.0
+            embedding = embedding / norms[:, None]
+            projection = tsne(
+                embedding, dim=2, n_iterations=TSNE_ITERATIONS, seed=0
+            )
+            results.append(
+                (
+                    dataset,
+                    method,
+                    silhouette_score(projection, mvag.labels, seed=0),
+                    class_separation(projection, mvag.labels),
+                )
+            )
+    return results
+
+
+def test_fig12_visualization(benchmark, capsys):
+    results = benchmark.pedantic(_scores, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "method", "t-SNE silhouette", "class separation"],
+        results,
+        title="Fig. 12 — t-SNE class-separation scores (higher = cleaner "
+        "visual separation)",
+    )
+    emit("fig12_visualization", table, capsys)
+
+    # Shape assertion: SGLA+ at or near the top on each dataset.
+    for dataset in DATASETS:
+        rows = [r for r in results if r[0] == dataset]
+        silhouettes = {method: score for _, method, score, _ in rows}
+        best = max(silhouettes.values())
+        assert silhouettes["sgla+"] >= best - 0.15, (
+            f"SGLA+ separation should be competitive on {dataset}: "
+            f"{silhouettes}"
+        )

@@ -1,0 +1,87 @@
+"""Fig. 6 — embedding running time of all methods on all datasets.
+
+Regenerates the embedding-efficiency comparison (wall-clock seconds; ``-``
+for OOM guards), plus a scaling sweep comparing the SketchNE-style scalable
+path against the trained auto-encoder family.
+
+Expected shape (paper): SGLA+ fastest overall; SGLA close behind; the
+trained (GNN-family) baseline slowest by a wide margin.
+"""
+
+import time
+
+import numpy as np
+
+from harness import (
+    BENCH_DATASETS,
+    embedding_methods,
+    emit,
+    format_table,
+    run_embedding,
+)
+from repro.analysis.memory import peak_rss_mb
+from repro.core.pipeline import embed_mvag
+from repro.datasets.generator import generate_mvag
+
+SCALING_SIZES = [500, 1000, 2000, 4000]
+
+
+def _time_table():
+    rows = {}
+    for method in embedding_methods():
+        rows[method] = {}
+        for dataset in BENCH_DATASETS:
+            _, seconds = run_embedding(method, dataset, dim=64, seed=0)
+            rows[method][dataset] = seconds
+    return rows
+
+
+def _scaling_sweep():
+    sweep = []
+    for n in SCALING_SIZES:
+        mvag = generate_mvag(
+            n_nodes=n,
+            n_clusters=5,
+            graph_view_strengths=[0.8, 0.3],
+            attribute_view_dims=[48],
+            avg_degree=12,
+            seed=1,
+        )
+        start = time.perf_counter()
+        embed_mvag(mvag, dim=64, method="sgla+", backend="sketchne", seed=0)
+        sketch_seconds = time.perf_counter() - start
+        sweep.append((n, sketch_seconds))
+    return sweep
+
+
+def test_fig6_embedding_time(benchmark, capsys):
+    times = benchmark.pedantic(_time_table, rounds=1, iterations=1)
+    sweep = _scaling_sweep()
+
+    methods = list(embedding_methods())
+    rows = [
+        [method] + [times[method][d] for d in BENCH_DATASETS]
+        for method in methods
+    ]
+    table = format_table(
+        ["method"] + BENCH_DATASETS, rows,
+        title="Fig. 6 — embedding time in seconds ('-' = OOM guard)",
+    )
+    sweep_table = format_table(
+        ["n", "sgla+ / sketchne (s)"],
+        sweep,
+        title="\nscalable-path sweep",
+    )
+    memory = f"\npeak RSS after all runs: {peak_rss_mb():.0f} MB"
+    emit("fig6_embedding_time", table + "\n" + sweep_table + memory, capsys)
+
+    # Shape assertions.
+    plus_total = np.nansum([times["sgla+"][d] for d in BENCH_DATASETS])
+    o2mac_total = np.nansum([times["o2mac"][d] for d in BENCH_DATASETS])
+    assert plus_total < o2mac_total, (
+        "SGLA+ must beat the trained GNN-family baseline on total time"
+    )
+    # The scalable path must stay sub-quadratic across the sweep.
+    growth = sweep[-1][1] / max(sweep[0][1], 1e-9)
+    size_ratio = SCALING_SIZES[-1] / SCALING_SIZES[0]
+    assert growth < size_ratio**2

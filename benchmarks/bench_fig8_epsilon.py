@@ -1,0 +1,68 @@
+"""Fig. 8 — sensitivity of SGLA to the termination threshold eps.
+
+Regenerates the eps sweep (1e-4 .. 1e-1): clustering accuracy per dataset
+and the running-time change relative to the default eps = 1e-3.
+
+Expected shape (paper): Acc stable for tight eps, degrading at loose
+eps = 1e-1; time grows sharply at eps = 1e-4 with no quality gain.
+"""
+
+import time
+
+from harness import bench_mvag, emit, format_table, profile_config
+from repro.cluster.spectral import spectral_clustering
+from repro.core.sgla import SGLA, SGLAConfig
+from repro.evaluation.clustering_metrics import accuracy
+
+DATASETS = ["rm", "yelp_small", "dblp_small", "amazon_photos_small"]
+EPS_VALUES = [1e-4, 1e-3, 1e-2, 1e-1]
+DEFAULT_EPS = 1e-3
+
+
+def _sweep():
+    results = {}
+    for name in DATASETS:
+        mvag = bench_mvag(name)
+        base = profile_config(name)
+        per_eps = {}
+        for eps in EPS_VALUES:
+            config = SGLAConfig(
+                eps=eps, knn_k=base.knn_k, t_max=base.t_max
+            )
+            start = time.perf_counter()
+            result = SGLA(config).fit(mvag)
+            labels = spectral_clustering(
+                result.laplacian, mvag.n_classes, seed=0
+            )
+            per_eps[eps] = {
+                "acc": accuracy(mvag.labels, labels),
+                "seconds": time.perf_counter() - start,
+                "evals": result.n_objective_evaluations,
+            }
+        results[name] = per_eps
+    return results
+
+
+def test_fig8_epsilon(benchmark, capsys):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = []
+    for name, per_eps in results.items():
+        reference = per_eps[DEFAULT_EPS]["seconds"]
+        for eps, cells in per_eps.items():
+            delta = (cells["seconds"] - reference) / max(reference, 1e-9)
+            rows.append(
+                (name, f"{eps:.0e}", cells["acc"],
+                 f"{100 * delta:+.0f}%", cells["evals"])
+            )
+    table = format_table(
+        ["dataset", "eps", "Acc", "dTime vs 1e-3", "objective evals"],
+        rows,
+        title="Fig. 8 — varying eps for SGLA",
+    )
+    emit("fig8_epsilon", table, capsys)
+
+    # Shape assertions: tightening eps from the default must not change
+    # accuracy much, and must not reduce work.
+    for name, per_eps in results.items():
+        assert per_eps[1e-4]["acc"] >= per_eps[DEFAULT_EPS]["acc"] - 0.1
+        assert per_eps[1e-4]["evals"] >= per_eps[1e-1]["evals"]

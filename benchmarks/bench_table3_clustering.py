@@ -1,0 +1,82 @@
+"""Table III — clustering quality of all methods on all datasets.
+
+Regenerates the paper's main clustering table: Acc / F1 / NMI / ARI /
+Purity for every method on every dataset profile, plus the overall-rank
+column.  ``-`` cells mark methods that exceed their memory limits, exactly
+like the paper's OOM/timeout entries.
+
+Expected shape (paper): SGLA and SGLA+ take the two best overall ranks and
+lead (or tie the lead) on most datasets.
+"""
+
+from harness import (
+    BENCH_DATASETS,
+    CLUSTER_METRICS,
+    bench_mvag,
+    clustering_methods,
+    emit,
+    format_table,
+    run_clustering,
+)
+from repro.evaluation.clustering_metrics import clustering_report
+from repro.evaluation.ranking import overall_ranks
+
+
+def _full_table():
+    table = {}
+    for method in clustering_methods():
+        table[method] = {}
+        for dataset in BENCH_DATASETS:
+            labels, _ = run_clustering(method, dataset, seed=0)
+            if labels is None:
+                table[method][dataset] = {m: None for m in CLUSTER_METRICS}
+            else:
+                truth = bench_mvag(dataset).labels
+                table[method][dataset] = clustering_report(truth, labels)
+    return table
+
+
+def test_table3_clustering_quality(benchmark, capsys):
+    table = benchmark.pedantic(_full_table, rounds=1, iterations=1)
+    ranks = overall_ranks(table)
+
+    methods = list(clustering_methods())
+    blocks = []
+    for dataset in BENCH_DATASETS:
+        rows = []
+        for method in methods:
+            cells = table[method][dataset]
+            rows.append([method] + [cells[m] for m in CLUSTER_METRICS])
+        blocks.append(
+            format_table(
+                ["method"] + [m.upper() for m in CLUSTER_METRICS],
+                rows,
+                title=f"[{dataset}]",
+            )
+        )
+    rank_rows = sorted(ranks.items(), key=lambda kv: kv[1])
+    blocks.append(
+        format_table(
+            ["method", "overall rank"],
+            [(m, r) for m, r in rank_rows],
+            title="[overall rank — lower is better]",
+        )
+    )
+    emit(
+        "table3_clustering",
+        "Table III — clustering quality\n\n" + "\n\n".join(blocks),
+        capsys,
+    )
+
+    # Shape assertions mirroring the paper's headline claims: the SGLA
+    # family sits at the top of the rank column (the paper reports ranks
+    # 1.7 / 2.0 vs 4.6 for the best baseline; with our reimplemented —
+    # and in places stronger-than-original — baselines we require top-2
+    # presence and both methods in the top 4).
+    ordered = [m for m, _ in rank_rows]
+    assert set(ordered[:2]) & {"sgla", "sgla+"}, (
+        f"SGLA family should lead the rank column, got {ordered[:2]}"
+    )
+    assert "sgla" in ordered[:4] and "sgla+" in ordered[:4], ordered
+    assert ranks["sgla"] < ranks["wmsc"]
+    assert ranks["sgla+"] < ranks["wmsc"]

@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark suite."""
+
+import sys
+from pathlib import Path
+
+# Make `harness` importable regardless of how pytest was invoked.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,76 @@
+"""Embedding an academic collaboration MVAG for author classification.
+
+A DBLP-style scenario: authors are linked by co-authorship, shared venues,
+and citation overlap (three graph views of very different density), with a
+bag-of-words attribute view of their paper abstracts.  The task is to embed
+authors and classify their research area from a small labeled subset —
+the paper's Table IV protocol.
+
+Run:  python examples/academic_graph_embedding.py
+"""
+
+import numpy as np
+
+from repro import SGLA, embed_mvag, evaluate_embedding, generate_mvag
+from repro.analysis.convergence import convergence_trace
+from repro.analysis.separation import class_separation
+from repro.baselines import EMBEDDING_BASELINES
+from repro.core.laplacian import build_view_laplacians
+from repro.datasets.generator import AttributeViewSpec, GraphViewSpec
+
+
+def main() -> None:
+    mvag = generate_mvag(
+        n_nodes=600,
+        n_clusters=4,
+        graph_view_strengths=[
+            GraphViewSpec(strength=0.6, avg_degree=3.0),   # co-authorship
+            GraphViewSpec(strength=0.5, avg_degree=40.0),  # shared venues
+            GraphViewSpec(strength=0.75, avg_degree=25.0),  # citation overlap
+        ],
+        attribute_view_dims=[
+            AttributeViewSpec(dim=300, signal=0.6, kind="binary")  # abstracts
+        ],
+        seed=29,
+        name="academic-dblp-style",
+    )
+
+    # --- SGLA convergence (what Fig. 7 of the paper shows) ---------------
+    result = SGLA().fit(mvag)
+    laplacians = build_view_laplacians(mvag, knn_k=10)
+    trace = convergence_trace(
+        result.history,
+        laplacians=laplacians,
+        k=4,
+        labels_true=mvag.labels,
+        accuracy_stride=5,
+    )
+    print("SGLA convergence (iteration: objective, accuracy):")
+    for i in range(0, len(trace.iterations), 5):
+        print(
+            f"  t={trace.iterations[i]:3d}  h={trace.objective[i]:.4f}"
+            f"  acc={trace.accuracy[i]:.3f}"
+        )
+    print(f"weights: {np.round(result.weights, 3)}")
+
+    # --- embedding + classification --------------------------------------
+    print("\nnode classification from 64-d embeddings (20% train):")
+    output = embed_mvag(mvag, dim=64, method="sgla+")
+    ours = evaluate_embedding(output.embedding, mvag.labels, seed=0)
+    print(
+        f"  sgla+ / {output.backend:8s} "
+        f"MaF1={ours['macro_f1']:.3f} MiF1={ours['micro_f1']:.3f} "
+        f"separation={class_separation(output.embedding, mvag.labels):.2f}"
+    )
+    for name, embed in sorted(EMBEDDING_BASELINES.items()):
+        embedding = embed(mvag, 64, seed=0)
+        scores = evaluate_embedding(embedding, mvag.labels, seed=0)
+        print(
+            f"  {name:16s} MaF1={scores['macro_f1']:.3f} "
+            f"MiF1={scores['micro_f1']:.3f} "
+            f"separation={class_separation(embedding, mvag.labels):.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Bringing your own data: build, persist, and analyze a custom MVAG.
+
+Shows the data-model API end to end without the synthetic generator:
+adjacency matrices from edge lists, a sparse binary attribute view, npz
+round-trip, and integration of a *partially unlabeled* MVAG (k supplied
+explicitly).
+
+Run:  python examples/custom_dataset.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import MVAG, cluster_mvag, load_profile_mvag
+from repro.datasets.io import load_mvag, save_mvag
+
+
+def adjacency_from_edges(edges, n):
+    """Build a symmetric adjacency from an undirected edge list."""
+    rows = [a for a, _ in edges] + [b for _, b in edges]
+    cols = [b for _, b in edges] + [a for a, _ in edges]
+    return sp.csr_matrix(
+        (np.ones(len(rows)), (rows, cols)), shape=(n, n)
+    )
+
+
+def main() -> None:
+    n = 12
+    # Two views of a tiny collaboration network: in-person meetings and
+    # e-mail threads.  Communities {0..5} and {6..11}.
+    meetings = adjacency_from_edges(
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5),
+         (6, 7), (7, 8), (8, 9), (9, 10), (10, 11), (6, 11), (5, 6)],
+        n,
+    )
+    email = adjacency_from_edges(
+        [(0, 2), (1, 3), (2, 4), (3, 5), (0, 4),
+         (6, 8), (7, 9), (8, 10), (9, 11), (7, 11), (1, 10)],
+        n,
+    )
+    # A sparse binary attribute view: project-tag memberships.
+    tags = sp.csr_matrix(
+        (np.ones(14),
+         ([0, 1, 2, 3, 4, 5, 5, 6, 7, 8, 9, 10, 11, 11],
+          [0, 0, 0, 1, 1, 1, 0, 2, 2, 3, 3, 2, 3, 2])),
+        shape=(n, 4),
+    )
+
+    mvag = MVAG(
+        graph_views=[meetings, email],
+        attribute_views=[tags],
+        name="custom-collaboration",
+    )
+    print(f"built {mvag}")
+    for stat in mvag.view_stats():
+        print(f"  view: {stat}")
+
+    # --- persist and reload ----------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "collaboration.npz"
+        save_mvag(mvag, path)
+        reloaded = load_mvag(path)
+        print(f"\nround-tripped through {path.name}: {reloaded}")
+
+    # --- cluster without ground-truth labels ------------------------------
+    output = cluster_mvag(mvag, k=2, method="sgla+", config=None)
+    print(f"\nSGLA+ weights: {np.round(output.integration.weights, 3)}")
+    print(f"cluster assignment: {output.labels.tolist()}")
+
+    # --- the built-in paper-dataset profiles work the same way -----------
+    profile_mvag = load_profile_mvag("rm", seed=0)
+    print(f"\nbuilt-in profile example: {profile_mvag}")
+
+
+if __name__ == "__main__":
+    main()

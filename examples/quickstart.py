@@ -1,0 +1,69 @@
+"""Quickstart: integrate a multi-view attributed graph, cluster, and embed.
+
+Generates a small synthetic MVAG with one informative graph view, one noisy
+graph view, and one attribute view, then runs the full SGLA+ pipeline:
+
+    MVAG  ->  view Laplacians  ->  weighted aggregation (SGLA+)
+          ->  spectral clustering  /  NetMF embedding
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    SGLAPlus,
+    cluster_mvag,
+    clustering_report,
+    embed_mvag,
+    evaluate_embedding,
+    generate_mvag,
+)
+from repro.analysis import effective_view_count, weight_entropy
+
+
+def main() -> None:
+    # A 3-community MVAG: view 0 is informative (strength 0.9), view 1 is
+    # mostly noise (strength 0.15), and the attribute view is moderately
+    # informative.  Good integration must weight view 1 down.
+    mvag = generate_mvag(
+        n_nodes=400,
+        n_clusters=3,
+        graph_view_strengths=[0.9, 0.15],
+        attribute_view_dims=[32],
+        attribute_view_signals=[0.6],
+        seed=7,
+        name="quickstart",
+    )
+    print(f"dataset: {mvag}")
+
+    # --- integration ---------------------------------------------------
+    result = SGLAPlus().fit(mvag)
+    print(f"\nSGLA+ view weights: {np.round(result.weights, 3)}")
+    print(f"objective h(w):     {result.objective_value:.4f}")
+    print(f"expensive objective evaluations: {result.n_objective_evaluations}")
+    print(
+        f"weight entropy: {weight_entropy(result.weights):.2f}  "
+        f"effective views: {effective_view_count(result.weights):.2f} / "
+        f"{mvag.n_views}"
+    )
+
+    # --- clustering ------------------------------------------------------
+    clustering = cluster_mvag(mvag, method="sgla+")
+    report = clustering_report(mvag.labels, clustering.labels)
+    print("\nclustering quality vs ground truth:")
+    for metric, value in report.items():
+        print(f"  {metric:7s} {value:.3f}")
+
+    # --- embedding -------------------------------------------------------
+    embedding = embed_mvag(mvag, dim=32)
+    scores = evaluate_embedding(embedding.embedding, mvag.labels, seed=0)
+    print(f"\nembedding backend: {embedding.backend}")
+    print(
+        "node classification (20% train): "
+        f"Macro-F1={scores['macro_f1']:.3f} Micro-F1={scores['micro_f1']:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

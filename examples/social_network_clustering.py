@@ -1,0 +1,74 @@
+"""Social-network clustering with many heterogeneous relation views.
+
+The paper's motivating scenario: the same people are connected on several
+platforms (calls, messaging, co-location, ...), and the views differ wildly
+in how much community signal they carry — like the RM dataset (10 graph
+views + 1 attribute view, 2 communities).  This example shows:
+
+1. how SGLA+ distributes weight across 11 views of varying quality,
+2. that the learned weighting beats both single views and uniform weights.
+
+Run:  python examples/social_network_clustering.py
+"""
+
+import numpy as np
+
+from repro import (
+    clustering_report,
+    cluster_mvag,
+    generate_mvag,
+    integrate,
+    spectral_clustering,
+)
+from repro.core.laplacian import build_view_laplacians
+
+
+def main() -> None:
+    # Ten relation views whose community strength rises from near-noise to
+    # strong, plus one binary attribute view (survey answers).
+    strengths = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.65, 0.8]
+    mvag = generate_mvag(
+        n_nodes=300,
+        n_clusters=2,
+        graph_view_strengths=strengths,
+        attribute_view_dims=[24],
+        attribute_view_signals=[0.5],
+        avg_degree=8,
+        seed=13,
+        name="social-rm-style",
+    )
+
+    integration = integrate(mvag, method="sgla+")
+    print("per-view weights found by SGLA+ (views sorted by true strength):")
+    for strength, weight in zip(strengths, integration.weights[:10]):
+        bar = "#" * int(weight * 200)
+        print(f"  strength {strength:4.2f} -> weight {weight:6.3f} {bar}")
+    print(f"  attributes       -> weight {integration.weights[10]:6.3f}")
+
+    informative = np.array(strengths) >= 0.4
+    weight_on_informative = integration.weights[:10][informative].sum()
+    print(
+        f"\nweight mass on the 4 informative graph views: "
+        f"{weight_on_informative:.2f}"
+    )
+
+    # --- compare against single views and uniform weights ----------------
+    laplacians = build_view_laplacians(mvag, knn_k=10)
+    print("\nclustering accuracy by integration strategy:")
+    rows = []
+    for method in ("sgla+", "sgla", "equal", "graph-agg"):
+        labels = cluster_mvag(mvag, method=method).labels
+        rows.append((method, clustering_report(mvag.labels, labels)["acc"]))
+    best_single = 0.0
+    for index, laplacian in enumerate(laplacians):
+        labels = spectral_clustering(laplacian, k=2, seed=0)
+        best_single = max(
+            best_single, clustering_report(mvag.labels, labels)["acc"]
+        )
+    rows.append(("best single view", best_single))
+    for name, acc in rows:
+        print(f"  {name:18s} {acc:.3f}")
+
+
+if __name__ == "__main__":
+    main()

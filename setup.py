@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools without the ``wheel`` package, so
+PEP 517 editable installs fail with "invalid command 'bdist_wheel'".  This
+shim enables ``pip install -e . --no-use-pep517``; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

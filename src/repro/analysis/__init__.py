@@ -1,0 +1,29 @@
+"""Analysis tools: t-SNE, embedding-separation scores, convergence traces.
+
+These back the paper's qualitative figures: Fig. 7 (convergence), Fig. 12
+(t-SNE visualization — replaced by quantitative separation scores in this
+headless reproduction, DESIGN.md §5).
+"""
+
+from repro.analysis.convergence import convergence_trace
+from repro.analysis.memory import peak_rss_mb
+from repro.analysis.separation import class_separation, silhouette_score
+from repro.analysis.tsne import tsne
+from repro.analysis.weights import (
+    effective_view_count,
+    format_weight_report,
+    weight_entropy,
+    weight_report,
+)
+
+__all__ = [
+    "tsne",
+    "silhouette_score",
+    "class_separation",
+    "convergence_trace",
+    "peak_rss_mb",
+    "weight_entropy",
+    "effective_view_count",
+    "weight_report",
+    "format_weight_report",
+]

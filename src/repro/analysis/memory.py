@@ -1,0 +1,22 @@
+"""Peak-memory sampling for the efficiency benchmarks.
+
+The paper reports peak memory footprints (Section VI-B/C); we sample the
+process's peak resident set size via ``resource.getrusage``, which is
+sufficient to show the *shape* (SGLA+ <= SGLA << quadratic baselines).
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process in megabytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0

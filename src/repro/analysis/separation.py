@@ -1,0 +1,90 @@
+"""Quantitative class-separation scores for embeddings.
+
+Stand-in for the paper's visual Fig. 12: instead of eyeballing a t-SNE
+scatter, we score how well ground-truth classes separate in the embedding
+(or its t-SNE projection).  Two scores:
+
+* :func:`silhouette_score` — mean silhouette coefficient (O(n^2), sampled
+  above a size cap);
+* :func:`class_separation` — ratio of between-class centroid spread to
+  mean within-class spread (cheap, O(n d)).
+
+Methods that visually separate classes better score higher on both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_labels
+
+_SILHOUETTE_SAMPLE_CAP = 2000
+
+
+def silhouette_score(points, labels, sample_cap: int = _SILHOUETTE_SAMPLE_CAP,
+                     seed=0) -> float:
+    """Mean silhouette coefficient of ``points`` under ``labels``."""
+    points = np.asarray(points, dtype=np.float64)
+    labels = check_labels(labels, n=points.shape[0])
+    classes = np.unique(labels)
+    if classes.size < 2:
+        raise ValidationError("silhouette needs at least two classes")
+
+    n = points.shape[0]
+    if n > sample_cap:
+        rng = check_random_state(seed)
+        chosen = rng.choice(n, size=sample_cap, replace=False)
+        points, labels = points[chosen], labels[chosen]
+        classes = np.unique(labels)
+        n = sample_cap
+
+    norms = np.einsum("ij,ij->i", points, points)
+    distances = np.sqrt(
+        np.clip(norms[:, None] - 2 * points @ points.T + norms[None, :], 0, None)
+    )
+    scores = np.zeros(n)
+    for i in range(n):
+        own = labels[i]
+        same_mask = labels == own
+        same_count = same_mask.sum()
+        if same_count <= 1:
+            scores[i] = 0.0
+            continue
+        mean_intra = distances[i, same_mask].sum() / (same_count - 1)
+        mean_inter = np.inf
+        for cls in classes:
+            if cls == own:
+                continue
+            other = labels == cls
+            mean_inter = min(mean_inter, distances[i, other].mean())
+        denominator = max(mean_intra, mean_inter)
+        scores[i] = 0.0 if denominator == 0 else (mean_inter - mean_intra) / denominator
+    return float(scores.mean())
+
+
+def class_separation(points, labels) -> float:
+    """Between-class centroid spread over mean within-class spread.
+
+    > 1 means classes are further apart than they are wide; higher is
+    better-separated.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = check_labels(labels, n=points.shape[0])
+    classes = np.unique(labels)
+    if classes.size < 2:
+        raise ValidationError("class separation needs at least two classes")
+    centroids = np.vstack([points[labels == cls].mean(axis=0) for cls in classes])
+    within = np.array(
+        [
+            np.linalg.norm(points[labels == cls] - centroid, axis=1).mean()
+            for cls, centroid in zip(classes, centroids)
+        ]
+    )
+    grand = centroids.mean(axis=0)
+    between = np.linalg.norm(centroids - grand, axis=1).mean()
+    denominator = within.mean()
+    if denominator == 0:
+        return np.inf
+    return float(between / denominator)

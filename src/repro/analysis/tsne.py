@@ -1,0 +1,162 @@
+"""Exact t-SNE (van der Maaten & Hinton, JMLR'08) from scratch.
+
+Used for the paper's Fig. 12 embedding visualizations.  This is the exact
+O(n^2) variant: Gaussian input affinities with per-point perplexity
+calibration by binary search, Student-t output affinities, gradient descent
+with momentum and early exaggeration, PCA initialization.  Suitable for the
+few-thousand-node datasets the figure uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.random import check_random_state
+
+_MACHINE_EPS = 1e-12
+
+
+def _pairwise_squared_distances(points: np.ndarray) -> np.ndarray:
+    norms = np.einsum("ij,ij->i", points, points)
+    distances = norms[:, None] - 2.0 * points @ points.T + norms[None, :]
+    np.clip(distances, 0.0, None, out=distances)
+    np.fill_diagonal(distances, 0.0)
+    return distances
+
+
+def _calibrate_row(distances_row: np.ndarray, perplexity: float, n_iter: int = 50):
+    """Binary-search the Gaussian precision matching ``perplexity``."""
+    target_entropy = np.log(perplexity)
+    beta, beta_min, beta_max = 1.0, 0.0, np.inf
+    probabilities = None
+    for _ in range(n_iter):
+        weights = np.exp(-distances_row * beta)
+        total = weights.sum()
+        if total <= 0:
+            probabilities = np.zeros_like(weights)
+            break
+        probabilities = weights / total
+        entropy = float(
+            -np.sum(probabilities[probabilities > 0] * np.log(
+                probabilities[probabilities > 0]
+            ))
+        )
+        difference = entropy - target_entropy
+        if abs(difference) < 1e-5:
+            break
+        if difference > 0:
+            beta_min = beta
+            beta = beta * 2.0 if beta_max == np.inf else 0.5 * (beta + beta_max)
+        else:
+            beta_max = beta
+            beta = 0.5 * (beta + beta_min)
+    return probabilities
+
+
+def _input_affinities(points: np.ndarray, perplexity: float) -> np.ndarray:
+    n = points.shape[0]
+    distances = _pairwise_squared_distances(points)
+    conditional = np.zeros((n, n))
+    for i in range(n):
+        row = np.delete(distances[i], i)
+        probabilities = _calibrate_row(row, perplexity)
+        conditional[i, np.arange(n) != i] = probabilities
+    joint = (conditional + conditional.T) / (2.0 * n)
+    np.clip(joint, _MACHINE_EPS, None, out=joint)
+    return joint
+
+
+def _pca_init(points: np.ndarray, dim: int, rng) -> np.ndarray:
+    centered = points - points.mean(axis=0)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    projected = centered @ vt[:dim].T
+    scale = projected.std(axis=0)
+    scale[scale == 0] = 1.0
+    return projected / scale * 1e-2 + 1e-4 * rng.standard_normal(
+        (points.shape[0], dim)
+    )
+
+
+def tsne(
+    points,
+    dim: int = 2,
+    perplexity: float = 30.0,
+    n_iterations: int = 500,
+    learning_rate=None,
+    early_exaggeration: float = 12.0,
+    exaggeration_iterations: int = 100,
+    seed=0,
+) -> np.ndarray:
+    """Embed ``points`` into ``dim`` dimensions with exact t-SNE.
+
+    Parameters mirror the reference implementation's defaults; perplexity
+    is clamped to ``(n - 1) / 3`` as usual, and ``learning_rate=None``
+    selects the standard automatic rate ``max(n / early_exaggeration / 4,
+    50)`` which keeps small datasets from diverging.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, dim)`` low-dimensional coordinates.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValidationError(f"points must be 2-D, got shape {points.shape}")
+    n = points.shape[0]
+    if n < 4:
+        raise ValidationError("t-SNE needs at least 4 points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    if learning_rate is None:
+        learning_rate = max(n / early_exaggeration / 4.0, 50.0)
+    rng = check_random_state(seed)
+
+    joint = _input_affinities(points, perplexity)
+    embedding = _pca_init(points, dim, rng)
+    velocity = np.zeros_like(embedding)
+    gains = np.ones_like(embedding)
+
+    exaggerated = joint * early_exaggeration
+    for iteration in range(n_iterations):
+        target = exaggerated if iteration < exaggeration_iterations else joint
+
+        distances = _pairwise_squared_distances(embedding)
+        kernel = 1.0 / (1.0 + distances)
+        np.fill_diagonal(kernel, 0.0)
+        kernel_sum = kernel.sum()
+        low_affinities = np.clip(kernel / max(kernel_sum, _MACHINE_EPS),
+                                 _MACHINE_EPS, None)
+
+        # Gradient: 4 * sum_j (p_ij - q_ij) * kernel_ij * (y_i - y_j).
+        coefficients = (target - low_affinities) * kernel
+        row_sums = coefficients.sum(axis=1)
+        gradient = 4.0 * (
+            np.diag(row_sums) @ embedding - coefficients @ embedding
+        )
+
+        same_sign = np.sign(gradient) == np.sign(velocity)
+        gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+        np.clip(gains, 0.01, None, out=gains)
+        momentum = 0.5 if iteration < exaggeration_iterations else 0.8
+        velocity = momentum * velocity - learning_rate * gains * gradient
+        embedding = embedding + velocity
+        embedding -= embedding.mean(axis=0)
+    return embedding
+
+
+def kl_divergence(points, embedding, perplexity: float = 30.0) -> float:
+    """The t-SNE objective value of a given embedding (for tests).
+
+    Perplexity is clamped exactly as in :func:`tsne` so that objective
+    values are comparable with the embedding's training objective.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    perplexity = min(perplexity, (points.shape[0] - 1) / 3.0)
+    joint = _input_affinities(points, perplexity)
+    distances = _pairwise_squared_distances(
+        np.asarray(embedding, dtype=np.float64)
+    )
+    kernel = 1.0 / (1.0 + distances)
+    np.fill_diagonal(kernel, 0.0)
+    low = np.clip(kernel / max(kernel.sum(), _MACHINE_EPS), _MACHINE_EPS, None)
+    return float(np.sum(joint * np.log(joint / low)))

@@ -1,0 +1,107 @@
+"""Interpretation helpers for learned view weights.
+
+SGLA's output is a weight vector over views; these helpers turn it into
+something a practitioner can read: normalized entropy (how spread the
+integration is), effective view count, per-view contribution report, and a
+quality probe that measures each view's *solo* objective value for
+comparison with its learned weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.objective import SpectralObjective
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_weights
+
+
+def weight_entropy(weights) -> float:
+    """Normalized Shannon entropy of a weight vector, in [0, 1].
+
+    0 means all mass on one view (single-view collapse), 1 means perfectly
+    uniform weighting.
+    """
+    weights = check_weights(weights)
+    if weights.size == 1:
+        return 1.0
+    positive = weights[weights > 0]
+    entropy = float(-np.sum(positive * np.log(positive)))
+    return entropy / np.log(weights.size)
+
+
+def effective_view_count(weights) -> float:
+    """Inverse Simpson index ``1 / sum w_i^2`` — the "effective number"
+    of views the integration actually uses (between 1 and r)."""
+    weights = check_weights(weights)
+    return float(1.0 / np.sum(weights * weights))
+
+
+@dataclass(frozen=True)
+class ViewContribution:
+    """One row of a weight report."""
+
+    index: int
+    weight: float
+    solo_objective: Optional[float]  # h at the one-hot weighting (if probed)
+    rank_by_weight: int
+
+
+def weight_report(
+    weights,
+    objective: Optional[SpectralObjective] = None,
+    probe_solo: bool = False,
+) -> List[ViewContribution]:
+    """Per-view contribution report, sorted by learned weight (descending).
+
+    Parameters
+    ----------
+    weights:
+        The learned view weights.
+    objective:
+        The spectral objective used for integration; required when
+        ``probe_solo`` is set.
+    probe_solo:
+        Additionally evaluate ``h`` at each one-hot weighting (r extra
+        eigensolves) so learned weights can be compared against each
+        view's standalone quality.
+    """
+    weights = check_weights(weights)
+    if probe_solo and objective is None:
+        raise ValidationError("probe_solo requires the objective")
+    solo_values: Sequence[Optional[float]]
+    if probe_solo:
+        solo_values = []
+        for index in range(weights.size):
+            one_hot = np.zeros(weights.size)
+            one_hot[index] = 1.0
+            solo_values.append(float(objective(one_hot)))
+    else:
+        solo_values = [None] * weights.size
+
+    order = np.argsort(-weights)
+    ranks = np.empty(weights.size, dtype=int)
+    ranks[order] = np.arange(1, weights.size + 1)
+    return [
+        ViewContribution(
+            index=i,
+            weight=float(weights[i]),
+            solo_objective=solo_values[i],
+            rank_by_weight=int(ranks[i]),
+        )
+        for i in range(weights.size)
+    ]
+
+
+def format_weight_report(report: Sequence[ViewContribution]) -> str:
+    """Plain-text rendering of a weight report (sorted by weight)."""
+    lines = [f"{'view':>5s} {'weight':>8s} {'rank':>5s} {'solo h':>9s}"]
+    for row in sorted(report, key=lambda r: r.rank_by_weight):
+        solo = "-" if row.solo_objective is None else f"{row.solo_objective:.4f}"
+        lines.append(
+            f"{row.index:5d} {row.weight:8.4f} {row.rank_by_weight:5d} {solo:>9s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Reimplemented baselines from the paper's comparison (DESIGN.md §2.3).
+
+Two registries expose a uniform interface for the benchmark harness:
+
+* ``CLUSTERING_BASELINES[name](mvag, k, seed=...) -> labels``
+* ``EMBEDDING_BASELINES[name](mvag, dim, seed=...) -> (n, dim) array``
+
+GNN-family methods (O2MAC here; representing MAGCN/HDMI/URAMN/DMG/CONN/
+AnECI per DESIGN.md §5) raise ``MemoryError`` beyond their node limits,
+mirroring the '-' (OOM / timeout) entries of the paper's tables.
+"""
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.baselines.hdmi import hdmi_embedding
+from repro.baselines.lmgec import lmgec_cluster, lmgec_embedding
+from repro.baselines.magc import magc_cluster
+from repro.baselines.mcgc import mcgc_cluster
+from repro.baselines.mega import mega_cluster
+from repro.baselines.mvagc import mvagc_cluster
+from repro.baselines.o2mac import o2mac_cluster, o2mac_embedding
+from repro.baselines.pane import pane_embedding
+from repro.baselines.twocmv import twocmv_cluster
+from repro.baselines.wmsc import wmsc_cluster
+
+ClusteringFn = Callable[..., np.ndarray]
+EmbeddingFn = Callable[..., np.ndarray]
+
+CLUSTERING_BASELINES: Dict[str, ClusteringFn] = {
+    "wmsc": wmsc_cluster,
+    "mcgc": mcgc_cluster,
+    "mvagc": mvagc_cluster,
+    "magc": magc_cluster,
+    "lmgec": lmgec_cluster,
+    "2cmv": twocmv_cluster,
+    "mega": mega_cluster,
+    "o2mac": o2mac_cluster,
+}
+
+EMBEDDING_BASELINES: Dict[str, EmbeddingFn] = {
+    "pane": pane_embedding,
+    "lmgec": lmgec_embedding,
+    "o2mac": o2mac_embedding,
+    "hdmi": hdmi_embedding,
+}
+
+__all__ = [
+    "CLUSTERING_BASELINES",
+    "EMBEDDING_BASELINES",
+    "wmsc_cluster",
+    "mcgc_cluster",
+    "mvagc_cluster",
+    "magc_cluster",
+    "lmgec_cluster",
+    "lmgec_embedding",
+    "twocmv_cluster",
+    "mega_cluster",
+    "o2mac_cluster",
+    "o2mac_embedding",
+    "pane_embedding",
+    "hdmi_embedding",
+]

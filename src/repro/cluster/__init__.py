@@ -1,0 +1,18 @@
+"""Clustering substrate: k-means and multiclass spectral clustering.
+
+The paper feeds the integrated MVAG Laplacian to the multiclass spectral
+clustering method of Yu & Shi [32]; its components (k-means++/Lloyd, the
+SVD-rotation discretization) are implemented here from scratch.
+"""
+
+from repro.cluster.discretize import discretize
+from repro.cluster.kmeans import KMeansResult, kmeans
+from repro.cluster.spectral import spectral_clustering, spectral_embedding_matrix
+
+__all__ = [
+    "kmeans",
+    "KMeansResult",
+    "discretize",
+    "spectral_clustering",
+    "spectral_embedding_matrix",
+]

@@ -1,0 +1,151 @@
+"""k-means clustering with k-means++ seeding and Lloyd iterations.
+
+A from-scratch replacement for the sklearn estimator the paper's reference
+stack relies on.  Features: deterministic seeding, multiple restarts keeping
+the lowest-inertia solution, empty-cluster repair (re-seed an empty cluster
+at the point farthest from its center), and early stopping on assignment
+stability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.random import check_random_state, spawn_rngs
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one k-means run (best over restarts)."""
+
+    labels: np.ndarray  # (n,) cluster assignments
+    centers: np.ndarray  # (k, d) final centroids
+    inertia: float  # sum of squared distances to assigned centers
+    n_iterations: int  # Lloyd iterations of the winning restart
+
+
+def _squared_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances, (n, k)."""
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2, computed without n*k*d temp.
+    point_norms = np.einsum("ij,ij->i", points, points)
+    center_norms = np.einsum("ij,ij->i", centers, centers)
+    cross = points @ centers.T
+    distances = point_norms[:, None] - 2.0 * cross + center_norms[None, :]
+    return np.clip(distances, 0.0, None)
+
+
+def _kmeans_plus_plus(points: np.ndarray, k: int, rng) -> np.ndarray:
+    """k-means++ seeding (Arthur & Vassilvitskii)."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centers[0] = points[first]
+    closest = _squared_distances(points, centers[:1]).ravel()
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centers.
+            idx = int(rng.integers(n))
+        else:
+            probabilities = closest / total
+            idx = int(rng.choice(n, p=probabilities))
+        centers[i] = points[idx]
+        new_dist = _squared_distances(points, centers[i : i + 1]).ravel()
+        np.minimum(closest, new_dist, out=closest)
+    return centers
+
+
+def _lloyd(
+    points: np.ndarray,
+    centers: np.ndarray,
+    max_iter: int,
+    tol: float,
+) -> KMeansResult:
+    k = centers.shape[0]
+    labels = np.full(points.shape[0], -1, dtype=np.int64)
+    n_iterations = 0
+    for iteration in range(1, max_iter + 1):
+        n_iterations = iteration
+        distances = _squared_distances(points, centers)
+        new_labels = np.argmin(distances, axis=1)
+        new_centers = np.zeros_like(centers)
+        counts = np.bincount(new_labels, minlength=k).astype(np.float64)
+        np.add.at(new_centers, new_labels, points)
+        empty = counts == 0
+        if np.any(empty):
+            # Re-seed each empty cluster at the currently worst-fit point.
+            assigned_dist = distances[np.arange(points.shape[0]), new_labels]
+            for cluster in np.flatnonzero(empty):
+                farthest = int(np.argmax(assigned_dist))
+                new_centers[cluster] = points[farthest]
+                counts[cluster] = 1.0
+                new_labels[farthest] = cluster
+                assigned_dist[farthest] = 0.0
+        occupied = counts > 0
+        new_centers[occupied] /= counts[occupied, None]
+        center_shift = float(np.linalg.norm(new_centers - centers))
+        centers = new_centers
+        if np.array_equal(new_labels, labels) or center_shift <= tol:
+            labels = new_labels
+            break
+        labels = new_labels
+    distances = _squared_distances(points, centers)
+    inertia = float(distances[np.arange(points.shape[0]), labels].sum())
+    return KMeansResult(
+        labels=labels, centers=centers, inertia=inertia, n_iterations=n_iterations
+    )
+
+
+def kmeans(
+    points,
+    k: int,
+    n_init: int = 10,
+    max_iter: int = 300,
+    tol: float = 1e-6,
+    init: str = "k-means++",
+    seed=None,
+) -> KMeansResult:
+    """Cluster ``points`` into ``k`` groups; best of ``n_init`` restarts.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` data matrix.
+    k:
+        Number of clusters (``1 <= k <= n``).
+    n_init:
+        Independent restarts; the lowest-inertia run wins.
+    max_iter, tol:
+        Lloyd iteration budget and center-shift tolerance.
+    init:
+        ``"k-means++"`` (default) or ``"random"`` seeding.
+    seed:
+        Master seed; restarts draw independent derived generators.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValidationError(f"points must be 2-D, got shape {points.shape}")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValidationError(f"k must be in [1, {n}], got {k}")
+    if init not in ("k-means++", "random"):
+        raise ValidationError(f"unknown init {init!r}")
+    if n_init < 1:
+        raise ValidationError(f"n_init must be >= 1, got {n_init}")
+
+    best: Optional[KMeansResult] = None
+    for rng in spawn_rngs(check_random_state(seed), n_init):
+        if init == "k-means++":
+            centers = _kmeans_plus_plus(points, k, rng)
+        else:
+            chosen = rng.choice(n, size=k, replace=False)
+            centers = points[chosen].copy()
+        result = _lloyd(points, centers, max_iter=max_iter, tol=tol)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best

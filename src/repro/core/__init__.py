@@ -1,0 +1,48 @@
+"""Core contribution of the paper: the MVAG model, the spectrum-guided
+objective, and the SGLA / SGLA+ solvers.
+"""
+
+from repro.core.integration import (
+    INTEGRATION_METHODS,
+    IntegrationResult,
+    integrate,
+)
+from repro.core.knn import knn_graph
+from repro.core.laplacian import (
+    aggregate_laplacians,
+    build_view_laplacians,
+    normalized_adjacency,
+    normalized_laplacian,
+)
+from repro.core.mvag import MVAG, ViewStats
+from repro.core.objective import ObjectiveComponents, SpectralObjective
+from repro.core.sampling import interpolation_samples
+from repro.core.sgla import SGLA, SGLAConfig, SGLAResult
+from repro.core.sgla_plus import SGLAPlus
+from repro.core.surrogate import QuadraticSurrogate, fit_surrogate
+
+__all__ = [
+    "MVAG",
+    "ViewStats",
+    "knn_graph",
+    "normalized_laplacian",
+    "normalized_adjacency",
+    "build_view_laplacians",
+    "aggregate_laplacians",
+    "SpectralObjective",
+    "ObjectiveComponents",
+    "QuadraticSurrogate",
+    "fit_surrogate",
+    "interpolation_samples",
+    "SGLA",
+    "SGLAPlus",
+    "SGLAConfig",
+    "SGLAResult",
+    "integrate",
+    "IntegrationResult",
+    "INTEGRATION_METHODS",
+]
+
+# NOTE: repro.core.pipeline is intentionally not imported here — it depends
+# on repro.cluster and repro.embedding, which themselves import repro.core.
+# The top-level ``repro`` package re-exports cluster_mvag / embed_mvag.

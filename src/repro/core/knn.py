@@ -1,0 +1,136 @@
+"""Cosine K-nearest-neighbor graph construction for attribute views.
+
+The paper (Section III-B) turns each attribute view ``X_j`` into a KNN graph
+``G_K(X_j)``: every node connects to its ``K`` most cosine-similar neighbors
+and each edge is weighted by that similarity.  The resulting adjacency is
+symmetrized so the view Laplacian is well defined.
+
+The implementation works blockwise so that the full ``n x n`` similarity
+matrix is never materialized; both dense and sparse feature matrices are
+supported (high-dimensional sparse attributes are common, e.g. bag-of-words
+views in DBLP/IMDB).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.errors import ValidationError
+from repro.utils.sparse import symmetrize
+from repro.utils.validation import check_finite
+
+
+def _normalize_rows_dense(features: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(features, axis=1)
+    norms[norms == 0] = 1.0
+    return features / norms[:, None]
+
+
+def _normalize_rows_sparse(features: sp.spmatrix) -> sp.csr_matrix:
+    features = features.tocsr().astype(np.float64)
+    norms = np.sqrt(np.asarray(features.multiply(features).sum(axis=1)).ravel())
+    norms[norms == 0] = 1.0
+    return sp.diags(1.0 / norms).dot(features).tocsr()
+
+
+def _top_k_from_block(
+    similarities: np.ndarray, row_offset: int, k: int
+) -> tuple:
+    """Indices/weights of the top-``k`` neighbors per row, excluding self."""
+    block_size, n = similarities.shape
+    rows_local = np.arange(block_size)
+    self_columns = row_offset + rows_local
+    valid = self_columns < n
+    similarities[rows_local[valid], self_columns[valid]] = -np.inf
+
+    k = min(k, n - 1)
+    # argpartition gives the k largest in arbitrary order, which is all we
+    # need — edge weights carry the actual similarity values.
+    top_idx = np.argpartition(similarities, -k, axis=1)[:, -k:]
+    top_val = np.take_along_axis(similarities, top_idx, axis=1)
+    return top_idx, top_val
+
+
+def knn_graph(
+    features: Union[np.ndarray, sp.spmatrix],
+    k: int = 10,
+    block_size: int = 2048,
+    weighted: bool = True,
+) -> sp.csr_matrix:
+    """Build the symmetric cosine KNN graph of an attribute view.
+
+    Parameters
+    ----------
+    features:
+        ``n x d`` attribute matrix (dense or sparse).
+    k:
+        Number of neighbors per node (``K`` in the paper; default 10,
+        matching the paper's default setting).
+    block_size:
+        Rows per similarity block; bounds peak memory at
+        ``block_size * n`` floats.
+    weighted:
+        If True (paper behaviour) edges carry the cosine similarity,
+        clipped at zero; if False, edges have unit weight.
+
+    Returns
+    -------
+    scipy.sparse.csr_matrix
+        Symmetric ``n x n`` adjacency with zero diagonal.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    check_finite(features, name="attribute view")
+    n = features.shape[0]
+    if n < 2:
+        return sp.csr_matrix((n, n), dtype=np.float64)
+
+    sparse_input = sp.issparse(features)
+    if sparse_input:
+        normalized = _normalize_rows_sparse(features)
+    else:
+        normalized = _normalize_rows_dense(
+            np.asarray(features, dtype=np.float64)
+        )
+
+    rows_out = []
+    cols_out = []
+    vals_out = []
+    effective_k = min(k, n - 1)
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        if sparse_input:
+            block = np.asarray(
+                normalized[start:stop].dot(normalized.T).todense()
+            )
+        else:
+            block = normalized[start:stop].dot(normalized.T)
+        top_idx, top_val = _top_k_from_block(block, start, effective_k)
+        block_rows = np.repeat(
+            np.arange(start, stop), top_idx.shape[1]
+        )
+        rows_out.append(block_rows)
+        cols_out.append(top_idx.ravel())
+        vals_out.append(top_val.ravel())
+
+    rows = np.concatenate(rows_out)
+    cols = np.concatenate(cols_out)
+    vals = np.concatenate(vals_out)
+
+    # Cosine similarity can be negative for dissimilar nodes that were still
+    # among the top-k (e.g. tiny n); negative edge weights would break the
+    # normalized-Laplacian spectrum bound, so clip at zero.
+    finite = np.isfinite(vals)
+    rows, cols, vals = rows[finite], cols[finite], vals[finite]
+    vals = np.clip(vals, 0.0, None)
+    if not weighted:
+        vals = (vals > 0).astype(np.float64)
+
+    adjacency = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+    adjacency = symmetrize(adjacency, mode="max")
+    adjacency.setdiag(0.0)
+    adjacency.eliminate_zeros()
+    return adjacency

@@ -1,0 +1,213 @@
+"""The spectrum-guided objective ``h(w)`` (paper Section IV).
+
+The full objective (Eq. 5) combines:
+
+* the **eigengap objective** ``g_k(L) = lambda_k(L) / lambda_{k+1}(L)``
+  (Eq. 2) — small when the aggregated Laplacian exhibits ``k`` well-formed
+  clusters (higher-order Cheeger, Corollary 1.1);
+* the **connectivity objective** ``lambda_2(L)`` — large when the
+  aggregation has no connectivity bottleneck (Cheeger bound, Eq. 4); it
+  enters with a negative sign because ``h`` is minimized;
+* a regularizer ``gamma * sum_i w_i^2`` that discourages collapsing all
+  weight onto a single view.
+
+:class:`SpectralObjective` evaluates ``h`` for candidate view weights,
+caching repeated evaluations (derivative-free optimizers frequently revisit
+points) and counting the *distinct* expensive eigensolves performed — the
+quantity SGLA+ is designed to reduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.eigen import bottom_eigenvalues
+from repro.core.laplacian import aggregate_laplacians
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_weights
+
+# Guard against division by a numerically-zero lambda_{k+1} (e.g. a graph
+# with more than k connected components under some weighting).
+_EIGENGAP_FLOOR = 1e-12
+
+
+@dataclass(frozen=True)
+class ObjectiveComponents:
+    """Breakdown of one objective evaluation."""
+
+    eigengap: float  # g_k(L) = lambda_k / lambda_{k+1}
+    connectivity: float  # lambda_2(L)
+    regularization: float  # gamma * sum w_i^2
+    value: float  # h(w) = eigengap - connectivity + regularization
+    eigenvalues: np.ndarray  # bottom k+1 eigenvalues of L(w)
+
+
+class SpectralObjective:
+    """Evaluator of the full objective ``h(w)`` over fixed view Laplacians.
+
+    Parameters
+    ----------
+    laplacians:
+        The ``r`` view Laplacians ``L_1..L_r`` (sparse, spectrum in [0,2]).
+    k:
+        Number of clusters/classes (drives which eigengap is measured).
+    gamma:
+        Regularization coefficient (paper default 0.5).
+    eigen_method:
+        Passed through to :func:`repro.core.eigen.bottom_eigenvalues`.
+    cache:
+        Whether to memoize evaluations by (rounded) weight vector.
+    seed:
+        Seed for iterative eigensolver start vectors (determinism).
+    """
+
+    def __init__(
+        self,
+        laplacians: Sequence[sp.spmatrix],
+        k: int,
+        gamma: float = 0.5,
+        eigen_method: str = "auto",
+        cache: bool = True,
+        seed=0,
+    ) -> None:
+        if len(laplacians) == 0:
+            raise ValidationError("need at least one view Laplacian")
+        n = laplacians[0].shape[0]
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        if k + 1 > n:
+            raise ValidationError(
+                f"k + 1 = {k + 1} eigenvalues requested but graph has {n} nodes"
+            )
+        self.laplacians = list(laplacians)
+        self.k = int(k)
+        self.gamma = float(gamma)
+        self.eigen_method = eigen_method
+        self.seed = seed
+        self._cache_enabled = bool(cache)
+        self._cache: Dict[Tuple[int, ...], ObjectiveComponents] = {}
+        self.n_evaluations = 0  # distinct (uncached) eigensolve evaluations
+
+    @property
+    def r(self) -> int:
+        """Number of views."""
+        return len(self.laplacians)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.laplacians[0].shape[0]
+
+    # ------------------------------------------------------------------ #
+
+    def aggregate(self, weights) -> sp.csr_matrix:
+        """The MVAG Laplacian ``L(w)`` for the given weights (Eq. 1)."""
+        return aggregate_laplacians(self.laplacians, weights)
+
+    def components(self, weights) -> ObjectiveComponents:
+        """Evaluate ``h(w)`` and return the full component breakdown."""
+        weights = check_weights(weights, r=self.r)
+        key = self._cache_key(weights)
+        if self._cache_enabled and key in self._cache:
+            return self._cache[key]
+
+        laplacian = self.aggregate(weights)
+        eigenvalues = bottom_eigenvalues(
+            laplacian, self.k + 1, method=self.eigen_method, seed=self.seed
+        )
+        self.n_evaluations += 1
+
+        lambda_2 = float(eigenvalues[1]) if eigenvalues.size > 1 else 0.0
+        lambda_k = float(eigenvalues[self.k - 1])
+        lambda_k1 = float(eigenvalues[self.k])
+        eigengap = lambda_k / max(lambda_k1, _EIGENGAP_FLOOR)
+        regularization = self.gamma * float(np.dot(weights, weights))
+        value = eigengap - lambda_2 + regularization
+        result = ObjectiveComponents(
+            eigengap=eigengap,
+            connectivity=lambda_2,
+            regularization=regularization,
+            value=value,
+            eigenvalues=eigenvalues,
+        )
+        if self._cache_enabled:
+            self._cache[key] = result
+        return result
+
+    def __call__(self, weights) -> float:
+        """Evaluate ``h(w)`` (Eq. 5)."""
+        return self.components(weights).value
+
+    # ------------------------------------------------------------------ #
+    # Single-objective variants (the Fig. 11 ablations)
+    # ------------------------------------------------------------------ #
+
+    def eigengap_only(self, weights) -> float:
+        """``g_k(L) + gamma * |w|^2`` — the eigengap-only ablation."""
+        parts = self.components(weights)
+        return parts.eigengap + parts.regularization
+
+    def connectivity_only(self, weights) -> float:
+        """``-lambda_2(L) + gamma * |w|^2`` — the connectivity-only ablation."""
+        parts = self.components(weights)
+        return -parts.connectivity + parts.regularization
+
+    # ------------------------------------------------------------------ #
+
+    def clear_cache(self) -> None:
+        """Forget memoized evaluations (keeps the evaluation counter)."""
+        self._cache.clear()
+
+    @staticmethod
+    def _cache_key(weights: np.ndarray) -> Tuple[int, ...]:
+        # Round to 1e-12 resolution: distinct enough for optimization,
+        # coarse enough to absorb floating-point noise in revisits.
+        return tuple(np.round(weights * 1e12).astype(np.int64).tolist())
+
+
+def objective_variant(
+    objective: SpectralObjective, variant: str
+):
+    """Return a callable ``w -> value`` for a named objective variant.
+
+    ``variant`` is one of ``"full"``, ``"eigengap"``, ``"connectivity"``.
+    """
+    if variant == "full":
+        return objective
+    if variant == "eigengap":
+        return objective.eigengap_only
+    if variant == "connectivity":
+        return objective.connectivity_only
+    raise ValidationError(f"unknown objective variant {variant!r}")
+
+
+def objective_surface(
+    objective: SpectralObjective,
+    resolution: float = 0.05,
+    variant: str = "full",
+) -> Optional[dict]:
+    """Dense sweep of ``h`` over the simplex for 2- or 3-view MVAGs.
+
+    Reproduces the data behind the paper's Fig. 2b (r=2 table) and Fig. 3a
+    (r=3 surface).  Returns ``None`` for r > 3 (not plottable).
+    """
+    func = objective_variant(objective, variant)
+    r = objective.r
+    grid = np.arange(0.0, 1.0 + 1e-9, resolution)
+    if r == 2:
+        points = [np.array([w1, 1.0 - w1]) for w1 in grid]
+    elif r == 3:
+        points = [
+            np.array([w1, w2, 1.0 - w1 - w2])
+            for w1 in grid
+            for w2 in grid
+            if w1 + w2 <= 1.0 + 1e-9
+        ]
+    else:
+        return None
+    values = np.array([func(np.clip(p, 0.0, None)) for p in points])
+    return {"points": np.asarray(points), "values": values}

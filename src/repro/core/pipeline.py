@@ -1,0 +1,114 @@
+"""End-to-end MVAG pipelines: integrate, then cluster or embed.
+
+These are the two paper workflows (Section III-B):
+
+* clustering — integrate all views into ``L`` and run multiclass spectral
+  clustering on its bottom eigenvectors;
+* embedding — integrate into ``L`` and run a matrix-factorization network
+  embedding (NetMF on small/medium graphs, the SketchNE-style method at
+  scale, mirroring the paper's dataset-dependent choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.spectral import spectral_clustering
+from repro.core.integration import IntegrationResult, integrate
+from repro.core.mvag import MVAG
+from repro.core.sgla import SGLAConfig
+from repro.embedding.netmf import _DENSE_NODE_LIMIT, netmf_from_laplacian
+from repro.embedding.sketchne import sketchne_embedding
+from repro.utils.errors import ValidationError
+
+
+@dataclass
+class ClusterOutput:
+    """Labels plus the integration provenance."""
+
+    labels: np.ndarray
+    integration: IntegrationResult
+
+
+@dataclass
+class EmbedOutput:
+    """Node embedding plus the integration provenance."""
+
+    embedding: np.ndarray
+    integration: IntegrationResult
+    backend: str  # "netmf" or "sketchne"
+
+
+def cluster_mvag(
+    mvag: MVAG,
+    k: Optional[int] = None,
+    method: str = "sgla+",
+    config: Optional[SGLAConfig] = None,
+    assign: str = "discretize",
+    seed=0,
+) -> ClusterOutput:
+    """Cluster an MVAG end to end.
+
+    Parameters
+    ----------
+    mvag:
+        The multi-view attributed graph.
+    k:
+        Cluster count (defaults to the label count).
+    method:
+        Integration strategy (see :data:`repro.core.integration.
+        INTEGRATION_METHODS`).
+    config:
+        SGLA hyperparameters (paper defaults when omitted).
+    assign:
+        Spectral assignment step: ``"discretize"`` or ``"kmeans"``.
+    """
+    if k is None:
+        k = mvag.n_classes
+    if k is None:
+        raise ValidationError("k must be given for an unlabeled MVAG")
+    integration = integrate(mvag, k=k, method=method, config=config)
+    labels = spectral_clustering(
+        integration.laplacian, k=k, assign=assign, seed=seed
+    )
+    return ClusterOutput(labels=labels, integration=integration)
+
+
+def embed_mvag(
+    mvag: MVAG,
+    k: Optional[int] = None,
+    dim: int = 64,
+    method: str = "sgla+",
+    config: Optional[SGLAConfig] = None,
+    backend: str = "auto",
+    seed=0,
+) -> EmbedOutput:
+    """Embed an MVAG end to end.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality (the paper fixes 64).
+    backend:
+        ``"netmf"``, ``"sketchne"``, or ``"auto"`` (NetMF when the dense
+        NetMF matrix fits, SketchNE-style otherwise — the paper's policy).
+    """
+    if k is None:
+        k = mvag.n_classes
+    if k is None:
+        raise ValidationError("k must be given for an unlabeled MVAG")
+    integration = integrate(mvag, k=k, method=method, config=config)
+    laplacian = integration.laplacian
+
+    if backend == "auto":
+        backend = "netmf" if mvag.n_nodes <= min(_DENSE_NODE_LIMIT, 8000) else "sketchne"
+    if backend == "netmf":
+        embedding = netmf_from_laplacian(laplacian, dim=dim, seed=seed)
+    elif backend == "sketchne":
+        embedding = sketchne_embedding(laplacian, dim=dim, seed=seed)
+    else:
+        raise ValidationError(f"unknown embedding backend {backend!r}")
+    return EmbedOutput(embedding=embedding, integration=integration, backend=backend)

@@ -1,0 +1,70 @@
+"""Weight-vector sampling for the SGLA+ surrogate fit (paper Section V-B).
+
+The paper's scheme draws exactly ``r + 1`` samples:
+
+* ``w_0 = (1/r, ..., 1/r)`` — the uniform weights;
+* ``w_l = (w_0 + 1_l) / 2`` for each view ``l`` — the midpoint between the
+  uniform point and the one-hot vector of view ``l``, i.e. the l-th entry is
+  ``(r + 1) / (2r)`` and all others ``1 / (2r)``.
+
+The Fig. 10 sweep varies the sample count by ``delta_s``: negative values
+randomly *remove* non-uniform samples, positive values *add* random simplex
+points (Dirichlet), mirroring the paper's experiment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.random import check_random_state
+
+
+def interpolation_samples(r: int) -> List[np.ndarray]:
+    """The paper's ``r + 1`` weight-vector samples for an ``r``-view MVAG."""
+    if r < 1:
+        raise ValidationError(f"r must be >= 1, got {r}")
+    uniform = np.full(r, 1.0 / r)
+    samples = [uniform]
+    for view in range(r):
+        one_hot = np.zeros(r)
+        one_hot[view] = 1.0
+        samples.append((uniform + one_hot) / 2.0)
+    return samples
+
+
+def adjusted_samples(
+    r: int, delta_s: int = 0, rng=None
+) -> List[np.ndarray]:
+    """Paper sampling adjusted by ``delta_s`` extra/removed samples (Fig. 10).
+
+    Parameters
+    ----------
+    r:
+        Number of views.
+    delta_s:
+        Change in the number of samples relative to the default ``r + 1``.
+        Negative values drop randomly-chosen non-uniform samples (the
+        uniform anchor ``w_0`` is always kept); positive values append
+        uniformly-random simplex points.
+    rng:
+        Seed or generator controlling which samples are dropped/added.
+    """
+    samples = interpolation_samples(r)
+    if delta_s == 0:
+        return samples
+    generator = check_random_state(rng)
+    if delta_s < 0:
+        n_remove = min(-delta_s, len(samples) - 2)
+        removable = list(range(1, len(samples)))
+        drop = set(
+            generator.choice(removable, size=n_remove, replace=False).tolist()
+        )
+        return [s for i, s in enumerate(samples) if i not in drop]
+    extras = [
+        np.asarray(generator.dirichlet(np.ones(r)), dtype=np.float64)
+        for _ in range(delta_s)
+    ]
+    return samples + extras

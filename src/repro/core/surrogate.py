@@ -1,0 +1,288 @@
+"""Quadratic interpolation surrogate ``h_Theta`` of the objective (Eq. 7-9).
+
+SGLA+ replaces the expensive spectral objective ``h(w)`` with a quadratic
+model over the first ``r - 1`` weights (the last weight is implied by the
+sum-to-one constraint):
+
+``h_Theta(w) = sum_{i<=j<=r-1} theta_ij w_i w_j + sum_i theta_ir w_i + theta_rr``
+
+Fitting follows the paper's least-Frobenius-norm quadratic model [42]
+(Ragonneau & Zhang): with the default ``r + 1`` samples the coefficient
+system is *underdetermined*, so we interpolate the samples **exactly** and
+break ties by minimizing the (weighted) Frobenius norm of the curvature
+coefficients — the ``alpha -> 0`` limit of the paper's penalized regression
+in Eq. (9).  When more samples than coefficients are supplied (the Fig. 10
+sweep), the system becomes overdetermined and we solve the ridge regression
+of Eq. (9) directly via Cholesky-factored normal equations.
+
+Why not plain ridge with ``alpha_r = 0.05`` everywhere?  On our synthetic
+profiles the objective spans only a few tenths, and that much shrinkage
+flattens the curvature until the surrogate minimizer degenerates to a
+simplex vertex (single-view collapse); the exact-interpolation model keeps
+the paraboloid shape of Fig. 3b.  This choice is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+import scipy.linalg
+
+from repro.utils.errors import ShapeError, ValidationError
+
+# Relative tie-break penalties in the interpolation mode: curvature is
+# penalized at 1, linear terms barely, the constant essentially not at all.
+_LINEAR_PENALTY = 1e-6
+_CONSTANT_PENALTY = 1e-8
+
+
+def _feature_indices(r: int) -> Tuple[list, int]:
+    """Term layout for the design matrix of an r-view surrogate.
+
+    Returns the list of quadratic (i, j) index pairs (over the reduced
+    coordinates ``0..r-2``) and the total number of coefficients:
+    ``C(r-1, 2) + (r-1)`` quadratic terms + ``(r-1)`` linear + 1 constant.
+    """
+    reduced = r - 1
+    quadratic_pairs = [(i, j) for i in range(reduced) for j in range(i, reduced)]
+    n_coefficients = len(quadratic_pairs) + reduced + 1
+    return quadratic_pairs, n_coefficients
+
+
+def _design_row(weights: np.ndarray, quadratic_pairs) -> np.ndarray:
+    reduced = weights[:-1]
+    quad = [reduced[i] * reduced[j] for (i, j) in quadratic_pairs]
+    return np.concatenate([quad, reduced, [1.0]])
+
+
+@dataclass(frozen=True)
+class QuadraticSurrogate:
+    """A fitted quadratic model of the objective over reduced weights.
+
+    Attributes
+    ----------
+    r:
+        Number of views (full weight-vector length).
+    coefficients:
+        Flat coefficient vector ordered as [quadratic terms (i<=j), linear
+        terms, constant], matching :func:`_design_row`.
+    alpha:
+        The regression parameter ``alpha_r`` the model was fitted with.
+    mode:
+        ``"interpolate"`` (exact fit, min-curvature tie-break) or
+        ``"ridge"`` (penalized least squares, Eq. 9).
+    """
+
+    r: int
+    coefficients: np.ndarray
+    alpha: float
+    mode: str = "interpolate"
+
+    def __call__(self, weights) -> float:
+        """Evaluate ``h_Theta(w)`` for a full weight vector."""
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        if weights.shape[0] != self.r:
+            raise ShapeError(
+                f"expected weight vector of length {self.r}, got {weights.shape[0]}"
+            )
+        quadratic_pairs, _ = _feature_indices(self.r)
+        row = _design_row(weights, quadratic_pairs)
+        return float(row @ self.coefficients)
+
+    def theta_matrix(self) -> np.ndarray:
+        """The upper-triangular coefficient matrix ``Theta`` of Eq. (8)."""
+        reduced = self.r - 1
+        quadratic_pairs, _ = _feature_indices(self.r)
+        theta = np.zeros((reduced + 1, reduced + 1))
+        for idx, (i, j) in enumerate(quadratic_pairs):
+            theta[i, j] = self.coefficients[idx]
+        offset = len(quadratic_pairs)
+        for i in range(reduced):
+            theta[i, reduced] = self.coefficients[offset + i]
+        theta[reduced, reduced] = self.coefficients[-1]
+        return theta
+
+    def hessian(self) -> np.ndarray:
+        """Symmetric Hessian of ``h_Theta`` over the reduced weights."""
+        dim = self.r - 1
+        quadratic_pairs, _ = _feature_indices(self.r)
+        hessian = np.zeros((dim, dim))
+        for idx, (i, j) in enumerate(quadratic_pairs):
+            coef = self.coefficients[idx]
+            if i == j:
+                hessian[i, i] += 2.0 * coef
+            else:
+                hessian[i, j] += coef
+                hessian[j, i] += coef
+        return hessian
+
+    def convexified(self) -> "QuadraticSurrogate":
+        """The nearest convex quadratic: negative Hessian curvature clipped.
+
+        With only ``r + 1`` interpolation points the fitted Hessian is
+        generally indefinite; minimizing an indefinite quadratic over the
+        simplex always terminates at a face or vertex, which needlessly
+        collapses view weights.  Clipping the Hessian's negative
+        eigenvalues (the PSD projection in Frobenius norm) keeps the
+        linear trend and the genuine positive curvature — the analogue of
+        how trust-region methods neutralize indefinite model curvature.
+        The constant/linear coefficients are refitted so the convexified
+        model still matches the original at the uniform-weight point.
+        """
+        dim = self.r - 1
+        hessian = self.hessian()
+        values, vectors = np.linalg.eigh(hessian)
+        clipped = vectors @ np.diag(np.clip(values, 0.0, None)) @ vectors.T
+        quadratic_pairs, _ = _feature_indices(self.r)
+        coefficients = self.coefficients.copy()
+        # Invert the Hessian layout: H[i,i] = 2 theta_ii, H[i,j] = theta_ij.
+        for idx, (i, j) in enumerate(quadratic_pairs):
+            if i == j:
+                coefficients[idx] = 0.5 * clipped[i, i]
+            else:
+                coefficients[idx] = clipped[i, j]
+        # Shift the constant so the model value at the uniform point is
+        # preserved (keeps sample-scale comparability).
+        uniform = np.full(self.r, 1.0 / self.r)
+        convex = QuadraticSurrogate(
+            r=self.r, coefficients=coefficients, alpha=self.alpha,
+            mode=self.mode,
+        )
+        offset = self(uniform) - convex(uniform)
+        coefficients = coefficients.copy()
+        coefficients[-1] += offset
+        return QuadraticSurrogate(
+            r=self.r, coefficients=coefficients, alpha=self.alpha,
+            mode=self.mode,
+        )
+
+    def gradient(self, weights) -> np.ndarray:
+        """Analytic gradient of ``h_Theta`` w.r.t. the reduced weights.
+
+        Not used by the derivative-free optimizer; provided for tests and
+        for callers that want gradient-based refinement of the surrogate.
+        """
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        reduced = weights[:-1]
+        dim = self.r - 1
+        quadratic_pairs, _ = _feature_indices(self.r)
+        grad = np.zeros(dim)
+        for idx, (i, j) in enumerate(quadratic_pairs):
+            coef = self.coefficients[idx]
+            if i == j:
+                grad[i] += 2.0 * coef * reduced[i]
+            else:
+                grad[i] += coef * reduced[j]
+                grad[j] += coef * reduced[i]
+        offset = len(quadratic_pairs)
+        grad += self.coefficients[offset : offset + dim]
+        return grad
+
+
+def _penalty_matrix(n_quadratic: int, n_linear: int) -> np.ndarray:
+    diagonal = (
+        [1.0] * n_quadratic + [_LINEAR_PENALTY] * n_linear + [_CONSTANT_PENALTY]
+    )
+    return np.diag(diagonal)
+
+
+def _fit_interpolating(
+    design: np.ndarray, values: np.ndarray, penalty: np.ndarray
+) -> np.ndarray:
+    """Exact interpolation with minimum weighted-norm coefficients (KKT)."""
+    n_samples, n_coefficients = design.shape
+    kkt = np.block(
+        [
+            [penalty, design.T],
+            [design, np.zeros((n_samples, n_samples))],
+        ]
+    )
+    rhs = np.concatenate([np.zeros(n_coefficients), values])
+    try:
+        solution = np.linalg.solve(kkt, rhs)
+    except np.linalg.LinAlgError:
+        # Duplicate samples make the system singular; least squares still
+        # yields an interpolating min-norm solution on the consistent part.
+        solution, *_ = np.linalg.lstsq(kkt, rhs, rcond=None)
+    return solution[:n_coefficients]
+
+
+def _fit_ridge(
+    design: np.ndarray,
+    values: np.ndarray,
+    penalty: np.ndarray,
+    alpha: float,
+) -> np.ndarray:
+    """Penalized least squares of Eq. (9) via Cholesky normal equations."""
+    n_coefficients = design.shape[1]
+    gram = design.T @ design + alpha * penalty + 1e-12 * np.eye(n_coefficients)
+    rhs = design.T @ values
+    try:
+        factor = scipy.linalg.cho_factor(gram, lower=True)
+        return scipy.linalg.cho_solve(factor, rhs)
+    except scipy.linalg.LinAlgError:
+        coefficients, *_ = np.linalg.lstsq(design, values, rcond=None)
+        return coefficients
+
+
+def fit_surrogate(
+    samples: Sequence[np.ndarray],
+    values: Sequence[float],
+    alpha: float = 0.05,
+    mode: str = "auto",
+) -> QuadraticSurrogate:
+    """Fit ``h_Theta`` over sampled objective evaluations (Eq. 7-9).
+
+    Parameters
+    ----------
+    samples:
+        Weight vectors ``w_0..w_s`` (full length ``r``, on the simplex).
+    values:
+        Objective values ``h(w_l)`` aligned with ``samples``.
+    alpha:
+        Regression parameter ``alpha_r`` (paper default 0.05); used by the
+        ridge mode and ignored by the interpolating mode (which is its
+        ``alpha -> 0`` limit).
+    mode:
+        ``"auto"`` — interpolate when the system is underdetermined
+        (``len(samples) <= #coefficients``; always true for the paper's
+        ``r + 1`` samples), ridge otherwise.  ``"interpolate"`` / ``"ridge"``
+        force a mode.
+
+    Returns
+    -------
+    QuadraticSurrogate
+    """
+    samples = [np.asarray(s, dtype=np.float64).ravel() for s in samples]
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if len(samples) == 0:
+        raise ValidationError("need at least one sample to fit the surrogate")
+    if len(samples) != values.shape[0]:
+        raise ShapeError(
+            f"{len(samples)} samples but {values.shape[0]} objective values"
+        )
+    r = samples[0].shape[0]
+    if r < 2:
+        raise ValidationError("surrogate requires at least two views")
+    if any(s.shape[0] != r for s in samples):
+        raise ShapeError("all weight samples must have the same length")
+    if alpha < 0:
+        raise ValidationError(f"alpha must be nonnegative, got {alpha}")
+    if mode not in ("auto", "interpolate", "ridge"):
+        raise ValidationError(f"unknown surrogate mode {mode!r}")
+
+    quadratic_pairs, n_coefficients = _feature_indices(r)
+    design = np.asarray([_design_row(s, quadratic_pairs) for s in samples])
+    penalty = _penalty_matrix(len(quadratic_pairs), r - 1)
+
+    if mode == "auto":
+        mode = "interpolate" if len(samples) <= n_coefficients else "ridge"
+    if mode == "interpolate":
+        coefficients = _fit_interpolating(design, values, penalty)
+    else:
+        coefficients = _fit_ridge(design, values, penalty, alpha)
+    return QuadraticSurrogate(
+        r=r, coefficients=coefficients, alpha=float(alpha), mode=mode
+    )

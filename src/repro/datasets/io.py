@@ -1,0 +1,93 @@
+"""On-disk MVAG persistence (single compressed ``.npz`` file).
+
+Lets users save generated datasets or load real MVAGs exported from other
+toolchains.  Graph views are stored in CSR component form, attribute views
+either dense or CSR; labels and the dataset name ride along.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.mvag import MVAG
+from repro.utils.errors import ValidationError
+
+PathLike = Union[str, Path]
+_FORMAT_VERSION = 1
+
+
+def _pack_csr(prefix: str, matrix: sp.csr_matrix, store: dict) -> None:
+    store[f"{prefix}_data"] = matrix.data
+    store[f"{prefix}_indices"] = matrix.indices
+    store[f"{prefix}_indptr"] = matrix.indptr
+    store[f"{prefix}_shape"] = np.asarray(matrix.shape)
+
+
+def _unpack_csr(prefix: str, archive) -> sp.csr_matrix:
+    return sp.csr_matrix(
+        (
+            archive[f"{prefix}_data"],
+            archive[f"{prefix}_indices"],
+            archive[f"{prefix}_indptr"],
+        ),
+        shape=tuple(archive[f"{prefix}_shape"]),
+    )
+
+
+def save_mvag(mvag: MVAG, path: PathLike) -> None:
+    """Serialize an MVAG to a compressed npz archive."""
+    store: dict = {
+        "format_version": np.asarray(_FORMAT_VERSION),
+        "name": np.asarray(mvag.name),
+        "n_graph_views": np.asarray(mvag.n_graph_views),
+        "n_attribute_views": np.asarray(mvag.n_attribute_views),
+    }
+    for i, adjacency in enumerate(mvag.graph_views):
+        _pack_csr(f"graph_{i}", adjacency, store)
+    for j, features in enumerate(mvag.attribute_views):
+        if sp.issparse(features):
+            store[f"attr_{j}_sparse"] = np.asarray(1)
+            _pack_csr(f"attr_{j}", features.tocsr(), store)
+        else:
+            store[f"attr_{j}_sparse"] = np.asarray(0)
+            store[f"attr_{j}_dense"] = np.asarray(features)
+    if mvag.labels is not None:
+        store["labels"] = mvag.labels
+    np.savez_compressed(Path(path), **store)
+
+
+def load_mvag(path: PathLike) -> MVAG:
+    """Load an MVAG previously written by :func:`save_mvag`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no such file: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValidationError(
+                f"unsupported MVAG archive version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        n_graph_views = int(archive["n_graph_views"])
+        n_attribute_views = int(archive["n_attribute_views"])
+        graph_views = [
+            _unpack_csr(f"graph_{i}", archive) for i in range(n_graph_views)
+        ]
+        attribute_views = []
+        for j in range(n_attribute_views):
+            if int(archive[f"attr_{j}_sparse"]):
+                attribute_views.append(_unpack_csr(f"attr_{j}", archive))
+            else:
+                attribute_views.append(archive[f"attr_{j}_dense"])
+        labels = archive["labels"] if "labels" in archive else None
+        name = str(archive["name"])
+    return MVAG(
+        graph_views=graph_views,
+        attribute_views=attribute_views,
+        labels=labels,
+        name=name,
+    )

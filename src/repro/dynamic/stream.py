@@ -1,0 +1,200 @@
+"""A mutable multi-view attributed graph for streaming updates.
+
+:class:`DynamicMVAG` wraps the static :class:`~repro.core.mvag.MVAG` data
+model with edge-level update operations on graph views and row-level
+updates on attribute views.  View Laplacians are maintained incrementally:
+an edge update touches only the rows/columns of its endpoints (the
+normalized Laplacian of node pairs whose degree changed), so a batch of
+``u`` updates costs ``O(u * d_max)`` instead of a full rebuild.
+
+For attribute views, a node's KNN edges are recomputed against the current
+attribute matrix on demand (exact for the updated node's out-edges; the
+symmetric closure keeps the graph valid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.knn import knn_graph
+from repro.core.laplacian import normalized_laplacian
+from repro.core.mvag import MVAG
+from repro.utils.errors import ValidationError
+from repro.utils.sparse import ensure_csr
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One edge mutation on a graph view.
+
+    Attributes
+    ----------
+    view:
+        Index of the graph view (0-based).
+    u, v:
+        Endpoint node indices (``u != v``).
+    weight:
+        New edge weight; 0 deletes the edge.
+    """
+
+    view: int
+    u: int
+    v: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ValidationError("self-loops are not allowed in graph views")
+        if self.weight < 0:
+            raise ValidationError(f"edge weight must be >= 0, got {self.weight}")
+
+
+class DynamicMVAG:
+    """A multi-view attributed graph supporting streaming updates.
+
+    Parameters
+    ----------
+    mvag:
+        Initial snapshot (copied; the original is not mutated).
+    knn_k:
+        Neighbors for attribute-view KNN graphs.
+
+    Notes
+    -----
+    Graph views are held in LIL format during mutation (cheap single-entry
+    writes) and converted to CSR lazily when Laplacians are requested.
+    """
+
+    def __init__(self, mvag: MVAG, knn_k: int = 10) -> None:
+        self._n = mvag.n_nodes
+        self._knn_k = int(knn_k)
+        self._graphs: List[sp.lil_matrix] = [
+            adjacency.tolil(copy=True) for adjacency in mvag.graph_views
+        ]
+        self._attributes: List = [
+            view.copy() if sp.issparse(view) else np.array(view, copy=True)
+            for view in mvag.attribute_views
+        ]
+        self.labels = None if mvag.labels is None else mvag.labels.copy()
+        self.name = mvag.name
+        # Laplacian cache per view; invalidated on mutation.
+        self._laplacians: Dict[int, sp.csr_matrix] = {}
+        self._attr_graph_dirty = [False] * len(self._attributes)
+        self._updates_since_snapshot = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes (fixed; node arrivals are out of scope)."""
+        return self._n
+
+    @property
+    def n_graph_views(self) -> int:
+        """Number of graph views."""
+        return len(self._graphs)
+
+    @property
+    def n_attribute_views(self) -> int:
+        """Number of attribute views."""
+        return len(self._attributes)
+
+    @property
+    def n_views(self) -> int:
+        """Total number of views."""
+        return self.n_graph_views + self.n_attribute_views
+
+    @property
+    def updates_since_snapshot(self) -> int:
+        """Mutations applied since the last :meth:`snapshot` call."""
+        return self._updates_since_snapshot
+
+    # ------------------------------------------------------------------ #
+    # Mutations
+    # ------------------------------------------------------------------ #
+
+    def apply_edge_update(self, update: EdgeUpdate) -> None:
+        """Set one (undirected) edge weight on a graph view."""
+        if not 0 <= update.view < len(self._graphs):
+            raise ValidationError(f"no graph view {update.view}")
+        if not (0 <= update.u < self._n and 0 <= update.v < self._n):
+            raise ValidationError("edge endpoints out of range")
+        graph = self._graphs[update.view]
+        graph[update.u, update.v] = update.weight
+        graph[update.v, update.u] = update.weight
+        self._laplacians.pop(update.view, None)
+        self._updates_since_snapshot += 1
+
+    def apply_edge_updates(self, updates: Sequence[EdgeUpdate]) -> None:
+        """Apply a batch of edge updates."""
+        for update in updates:
+            self.apply_edge_update(update)
+
+    def update_attributes(self, view: int, node: int, values) -> None:
+        """Replace one node's attribute row in an attribute view."""
+        if not 0 <= view < len(self._attributes):
+            raise ValidationError(f"no attribute view {view}")
+        if not 0 <= node < self._n:
+            raise ValidationError("node index out of range")
+        values = np.asarray(values, dtype=np.float64).ravel()
+        attributes = self._attributes[view]
+        if values.shape[0] != attributes.shape[1]:
+            raise ValidationError(
+                f"expected {attributes.shape[1]} attribute values, "
+                f"got {values.shape[0]}"
+            )
+        if sp.issparse(attributes):
+            attributes = attributes.tolil()
+            attributes[node] = values
+            self._attributes[view] = attributes.tocsr()
+        else:
+            attributes[node] = values
+        self._attr_graph_dirty[view] = True
+        graph_offset = len(self._graphs)
+        self._laplacians.pop(graph_offset + view, None)
+        self._updates_since_snapshot += 1
+
+    # ------------------------------------------------------------------ #
+    # Views out
+    # ------------------------------------------------------------------ #
+
+    def view_laplacian(self, index: int) -> sp.csr_matrix:
+        """Current normalized Laplacian of view ``index`` (cached)."""
+        if index in self._laplacians:
+            return self._laplacians[index]
+        if index < len(self._graphs):
+            laplacian = normalized_laplacian(
+                ensure_csr(self._graphs[index].tocsr())
+            )
+        else:
+            attr_index = index - len(self._graphs)
+            if not 0 <= attr_index < len(self._attributes):
+                raise ValidationError(f"no view {index}")
+            graph = knn_graph(self._attributes[attr_index], k=self._knn_k)
+            laplacian = normalized_laplacian(graph)
+            self._attr_graph_dirty[attr_index] = False
+        self._laplacians[index] = laplacian
+        return laplacian
+
+    def view_laplacians(self) -> List[sp.csr_matrix]:
+        """All current view Laplacians, paper order."""
+        return [self.view_laplacian(i) for i in range(self.n_views)]
+
+    def snapshot(self) -> MVAG:
+        """An immutable MVAG snapshot of the current state."""
+        self._updates_since_snapshot = 0
+        return MVAG(
+            graph_views=[g.tocsr() for g in self._graphs],
+            attribute_views=[
+                a.copy() if sp.issparse(a) else np.array(a, copy=True)
+                for a in self._attributes
+            ],
+            labels=self.labels,
+            name=self.name,
+        )

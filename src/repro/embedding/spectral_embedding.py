@@ -1,0 +1,41 @@
+"""Plain spectral node embedding (Laplacian eigenmaps flavour).
+
+A minimal embedding baseline: the bottom eigenvectors of the Laplacian,
+optionally dropping the trivial one and row-normalizing.  Serves both as a
+sanity baseline in benchmarks and as the input representation of several
+reimplemented baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.eigen import bottom_eigenpairs
+from repro.utils.sparse import ensure_csr
+from repro.utils.validation import check_embedding_dim
+
+
+def spectral_node_embedding(
+    laplacian,
+    dim: int = 64,
+    drop_first: bool = True,
+    normalize: bool = True,
+    eigen_method: str = "auto",
+    seed=0,
+) -> np.ndarray:
+    """Embed nodes with the bottom ``dim`` non-trivial Laplacian eigenvectors."""
+    laplacian = ensure_csr(laplacian)
+    n = laplacian.shape[0]
+    dim = check_embedding_dim(dim, n)
+    extra = 1 if drop_first else 0
+    count = min(dim + extra, n)
+    _, vectors = bottom_eigenpairs(laplacian, count, method=eigen_method, seed=seed)
+    embedding = vectors[:, extra:count]
+    if embedding.shape[1] < dim:
+        padding = np.zeros((n, dim - embedding.shape[1]))
+        embedding = np.hstack([embedding, padding])
+    if normalize:
+        norms = np.linalg.norm(embedding, axis=1)
+        norms[norms == 0] = 1.0
+        embedding = embedding / norms[:, None]
+    return embedding

@@ -1,0 +1,41 @@
+"""Evaluation substrate: clustering metrics, classification, rank tables.
+
+Everything the paper's Tables III/IV report is computed from scratch here:
+Acc (Hungarian-matched), macro-F1, NMI, ARI, Purity for clustering;
+Macro/Micro-F1 via multinomial logistic regression for embeddings; and the
+overall-rank column aggregating methods across datasets and metrics.
+"""
+
+from repro.evaluation.classification import (
+    LogisticRegression,
+    classification_report,
+    evaluate_embedding,
+    train_test_split_stratified,
+)
+from repro.evaluation.clustering_metrics import (
+    accuracy,
+    adjusted_rand_index,
+    clustering_report,
+    contingency_matrix,
+    macro_f1,
+    normalized_mutual_information,
+    purity,
+)
+from repro.evaluation.hungarian import linear_assignment
+from repro.evaluation.ranking import overall_ranks
+
+__all__ = [
+    "LogisticRegression",
+    "classification_report",
+    "evaluate_embedding",
+    "train_test_split_stratified",
+    "accuracy",
+    "macro_f1",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "purity",
+    "clustering_report",
+    "contingency_matrix",
+    "linear_assignment",
+    "overall_ranks",
+]

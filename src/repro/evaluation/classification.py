@@ -1,0 +1,173 @@
+"""Node-classification evaluation of embeddings (paper Table IV).
+
+The paper trains a logistic-regression classifier on 20% of labels (1% for
+the MAG datasets) and reports Macro-F1 / Micro-F1 on the rest.  This module
+implements the full protocol from scratch: stratified splits, multinomial
+(softmax) logistic regression fitted with L-BFGS and an analytic gradient,
+and the two F1 aggregations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+import scipy.optimize
+
+from repro.utils.errors import NotFittedError, ValidationError
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_labels
+
+
+def train_test_split_stratified(
+    labels, train_fraction: float = 0.2, seed=None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-class random split; every class keeps >= 1 training point.
+
+    Returns ``(train_indices, test_indices)``.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValidationError(
+            f"train_fraction must be in (0, 1), got {train_fraction}"
+        )
+    labels = check_labels(labels)
+    rng = check_random_state(seed)
+    train_parts = []
+    test_parts = []
+    for cls in np.unique(labels):
+        members = np.flatnonzero(labels == cls)
+        members = rng.permutation(members)
+        n_train = max(1, int(round(train_fraction * members.size)))
+        if n_train >= members.size:
+            n_train = max(1, members.size - 1) if members.size > 1 else 1
+        train_parts.append(members[:n_train])
+        test_parts.append(members[n_train:])
+    train_indices = np.sort(np.concatenate(train_parts))
+    test_indices = np.sort(np.concatenate(test_parts)) if any(
+        part.size for part in test_parts
+    ) else np.empty(0, dtype=np.int64)
+    return train_indices, test_indices
+
+
+class LogisticRegression:
+    """Multinomial (softmax) logistic regression with L2 regularization.
+
+    Fitted by L-BFGS with the analytic gradient of the cross-entropy loss;
+    deterministic given the data (initialization at zero).
+
+    Parameters
+    ----------
+    l2:
+        L2 penalty coefficient on the weights (bias unpenalized).
+    max_iter:
+        L-BFGS iteration cap.
+    """
+
+    def __init__(self, l2: float = 1e-3, max_iter: int = 200) -> None:
+        if l2 < 0:
+            raise ValidationError(f"l2 must be >= 0, got {l2}")
+        self.l2 = float(l2)
+        self.max_iter = int(max_iter)
+        self.weights_: np.ndarray = None  # (d, c)
+        self.bias_: np.ndarray = None  # (c,)
+        self.classes_: np.ndarray = None
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def fit(self, features, labels) -> "LogisticRegression":
+        """Fit on ``(n, d)`` features and integer labels."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = check_labels(labels, n=features.shape[0])
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        n, d = features.shape
+        c = self.classes_.size
+        onehot = np.zeros((n, c))
+        onehot[np.arange(n), encoded] = 1.0
+
+        def loss_and_grad(flat: np.ndarray):
+            weights = flat[: d * c].reshape(d, c)
+            bias = flat[d * c :]
+            probabilities = self._softmax(features @ weights + bias)
+            clipped = np.clip(probabilities, 1e-12, None)
+            loss = -np.sum(onehot * np.log(clipped)) / n
+            loss += 0.5 * self.l2 * np.sum(weights * weights)
+            residual = (probabilities - onehot) / n
+            grad_weights = features.T @ residual + self.l2 * weights
+            grad_bias = residual.sum(axis=0)
+            return loss, np.concatenate([grad_weights.ravel(), grad_bias])
+
+        initial = np.zeros(d * c + c)
+        result = scipy.optimize.minimize(
+            loss_and_grad,
+            initial,
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iter},
+        )
+        self.weights_ = result.x[: d * c].reshape(d, c)
+        self.bias_ = result.x[d * c :]
+        return self
+
+    def predict_proba(self, features) -> np.ndarray:
+        """Class probabilities, shape ``(n, c)``."""
+        if self.weights_ is None:
+            raise NotFittedError("call fit before predict")
+        features = np.asarray(features, dtype=np.float64)
+        return self._softmax(features @ self.weights_ + self.bias_)
+
+    def predict(self, features) -> np.ndarray:
+        """Hard class predictions in the original label space."""
+        probabilities = self.predict_proba(features)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+
+def _f1_binary(true_positive: int, false_positive: int, false_negative: int) -> float:
+    denominator = 2 * true_positive + false_positive + false_negative
+    return 0.0 if denominator == 0 else 2.0 * true_positive / denominator
+
+
+def classification_report(labels_true, labels_pred) -> Dict[str, float]:
+    """Macro-F1 and Micro-F1 of a (supervised) prediction."""
+    labels_true = check_labels(labels_true)
+    labels_pred = check_labels(labels_pred, n=labels_true.shape[0])
+    classes = np.unique(labels_true)
+    per_class = []
+    total_tp = 0
+    total_fp = 0
+    total_fn = 0
+    for cls in classes:
+        true_positive = int(np.sum((labels_true == cls) & (labels_pred == cls)))
+        false_positive = int(np.sum((labels_true != cls) & (labels_pred == cls)))
+        false_negative = int(np.sum((labels_true == cls) & (labels_pred != cls)))
+        per_class.append(_f1_binary(true_positive, false_positive, false_negative))
+        total_tp += true_positive
+        total_fp += false_positive
+        total_fn += false_negative
+    return {
+        "macro_f1": float(np.mean(per_class)),
+        "micro_f1": _f1_binary(total_tp, total_fp, total_fn),
+    }
+
+
+def evaluate_embedding(
+    embedding,
+    labels,
+    train_fraction: float = 0.2,
+    l2: float = 1e-3,
+    seed=0,
+) -> Dict[str, float]:
+    """Table IV protocol: LR on a stratified split, Macro/Micro-F1 on the rest."""
+    embedding = np.asarray(embedding, dtype=np.float64)
+    labels = check_labels(labels, n=embedding.shape[0])
+    train_idx, test_idx = train_test_split_stratified(
+        labels, train_fraction=train_fraction, seed=seed
+    )
+    if test_idx.size == 0:
+        raise ValidationError("split produced an empty test set")
+    model = LogisticRegression(l2=l2).fit(embedding[train_idx], labels[train_idx])
+    predictions = model.predict(embedding[test_idx])
+    return classification_report(labels[test_idx], predictions)

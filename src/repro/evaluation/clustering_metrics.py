@@ -1,0 +1,153 @@
+"""Clustering quality metrics (paper Table III): Acc, F1, NMI, ARI, Purity.
+
+All metrics are computed from the contingency matrix between ground-truth
+classes and predicted clusters.  Accuracy and macro-F1 first align clusters
+to classes with an optimal Hungarian matching (the standard protocol for
+unsupervised accuracy).  Definitions follow the conventions of the paper's
+reference stack: NMI normalizes mutual information by the arithmetic mean
+of entropies; ARI is the Hubert–Arabie adjusted Rand index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.evaluation.hungarian import linear_assignment
+from repro.utils.validation import check_labels
+
+
+def _encode(labels: np.ndarray) -> np.ndarray:
+    """Map arbitrary integer labels onto 0..c-1."""
+    _, encoded = np.unique(labels, return_inverse=True)
+    return encoded
+
+
+def contingency_matrix(labels_true, labels_pred) -> np.ndarray:
+    """Counts ``C[i, j]`` of points with true class i and predicted cluster j."""
+    labels_true = _encode(check_labels(labels_true))
+    labels_pred = _encode(check_labels(labels_pred, n=labels_true.shape[0]))
+    n_classes = int(labels_true.max()) + 1
+    n_clusters = int(labels_pred.max()) + 1
+    matrix = np.zeros((n_classes, n_clusters), dtype=np.int64)
+    np.add.at(matrix, (labels_true, labels_pred), 1)
+    return matrix
+
+
+def _match_clusters(contingency: np.ndarray) -> Dict[int, int]:
+    """Optimal cluster -> class mapping maximizing matched counts."""
+    rows, cols = linear_assignment(-contingency.astype(np.float64))
+    return {int(cluster): int(cls) for cls, cluster in zip(rows, cols)}
+
+
+def accuracy(labels_true, labels_pred) -> float:
+    """Unsupervised clustering accuracy under optimal cluster matching."""
+    contingency = contingency_matrix(labels_true, labels_pred)
+    rows, cols = linear_assignment(-contingency.astype(np.float64))
+    matched = contingency[rows, cols].sum()
+    return float(matched) / float(contingency.sum())
+
+
+def macro_f1(labels_true, labels_pred) -> float:
+    """Average per-class F1 after optimal cluster-to-class matching."""
+    contingency = contingency_matrix(labels_true, labels_pred)
+    n_classes, n_clusters = contingency.shape
+    mapping = _match_clusters(contingency)
+
+    true_labels = _encode(check_labels(labels_true))
+    pred_raw = _encode(check_labels(labels_pred))
+    # Clusters without a matched class get a fresh label so they count as
+    # pure false positives rather than polluting a real class.
+    next_label = n_classes
+    remap = np.empty(n_clusters, dtype=np.int64)
+    for cluster in range(n_clusters):
+        if cluster in mapping:
+            remap[cluster] = mapping[cluster]
+        else:
+            remap[cluster] = next_label
+            next_label += 1
+    pred_labels = remap[pred_raw]
+
+    scores = []
+    for cls in range(n_classes):
+        true_positive = np.sum((true_labels == cls) & (pred_labels == cls))
+        false_positive = np.sum((true_labels != cls) & (pred_labels == cls))
+        false_negative = np.sum((true_labels == cls) & (pred_labels != cls))
+        denominator = 2 * true_positive + false_positive + false_negative
+        scores.append(
+            0.0 if denominator == 0 else 2.0 * true_positive / denominator
+        )
+    return float(np.mean(scores))
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    probabilities = counts[counts > 0] / total
+    return float(-np.sum(probabilities * np.log(probabilities)))
+
+
+def normalized_mutual_information(labels_true, labels_pred) -> float:
+    """NMI with arithmetic-mean normalization (the common default)."""
+    contingency = contingency_matrix(labels_true, labels_pred).astype(np.float64)
+    total = contingency.sum()
+    row_sums = contingency.sum(axis=1)
+    col_sums = contingency.sum(axis=0)
+    entropy_true = _entropy(row_sums)
+    entropy_pred = _entropy(col_sums)
+    if entropy_true == 0.0 and entropy_pred == 0.0:
+        return 1.0
+    outer = np.outer(row_sums, col_sums)
+    nonzero = contingency > 0
+    mutual_information = float(
+        np.sum(
+            contingency[nonzero]
+            / total
+            * np.log(contingency[nonzero] * total / outer[nonzero])
+        )
+    )
+    normalizer = 0.5 * (entropy_true + entropy_pred)
+    if normalizer == 0.0:
+        return 0.0
+    return float(np.clip(mutual_information / normalizer, 0.0, 1.0))
+
+
+def adjusted_rand_index(labels_true, labels_pred) -> float:
+    """Hubert–Arabie adjusted Rand index; 1 = identical, ~0 = independent."""
+    contingency = contingency_matrix(labels_true, labels_pred).astype(np.float64)
+    total = contingency.sum()
+
+    def _comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1.0) / 2.0
+
+    sum_cells = _comb2(contingency).sum()
+    sum_rows = _comb2(contingency.sum(axis=1)).sum()
+    sum_cols = _comb2(contingency.sum(axis=0)).sum()
+    all_pairs = _comb2(np.array([total]))[0]
+    if all_pairs == 0:
+        return 1.0
+    expected = sum_rows * sum_cols / all_pairs
+    maximum = 0.5 * (sum_rows + sum_cols)
+    if maximum == expected:
+        # Degenerate: both partitions trivial (single cluster or singletons).
+        return 1.0 if sum_cells == expected else 0.0
+    return float((sum_cells - expected) / (maximum - expected))
+
+
+def purity(labels_true, labels_pred) -> float:
+    """Fraction of points in the majority true class of their cluster."""
+    contingency = contingency_matrix(labels_true, labels_pred)
+    return float(contingency.max(axis=0).sum()) / float(contingency.sum())
+
+
+def clustering_report(labels_true, labels_pred) -> Dict[str, float]:
+    """All five Table III metrics in one dict (keys: acc/f1/nmi/ari/purity)."""
+    return {
+        "acc": accuracy(labels_true, labels_pred),
+        "f1": macro_f1(labels_true, labels_pred),
+        "nmi": normalized_mutual_information(labels_true, labels_pred),
+        "ari": adjusted_rand_index(labels_true, labels_pred),
+        "purity": purity(labels_true, labels_pred),
+    }

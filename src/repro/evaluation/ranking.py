@@ -1,0 +1,85 @@
+"""Overall-rank aggregation for method-comparison tables (Tables III/IV).
+
+The paper's last column ranks every method on every (dataset, metric) cell
+— rank 1 is best — and averages the ranks.  Methods that failed on a
+dataset (out of memory / time, shown as '-') receive the worst rank for
+those cells, matching the spirit of "could not produce a result".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+def overall_ranks(
+    table: Mapping[str, Mapping[str, Mapping[str, Optional[float]]]],
+    higher_is_better: bool = True,
+) -> Dict[str, float]:
+    """Average rank per method over all (dataset, metric) cells.
+
+    Parameters
+    ----------
+    table:
+        ``table[method][dataset][metric] = value`` (``None`` for failures).
+    higher_is_better:
+        Direction of every metric (all Table III/IV metrics are
+        higher-better).
+
+    Returns
+    -------
+    dict
+        ``method -> average rank`` (lower is better).
+    """
+    methods = sorted(table.keys())
+    cells = set()
+    for method in methods:
+        for dataset, metrics in table[method].items():
+            for metric in metrics:
+                cells.add((dataset, metric))
+
+    rank_sums = {method: 0.0 for method in methods}
+    cell_counts = {method: 0 for method in methods}
+    for dataset, metric in sorted(cells):
+        values = []
+        for method in methods:
+            value = table.get(method, {}).get(dataset, {}).get(metric)
+            values.append(value)
+        ranks = _rank_cell(values, higher_is_better)
+        for method, rank in zip(methods, ranks):
+            rank_sums[method] += rank
+            cell_counts[method] += 1
+    return {
+        method: rank_sums[method] / max(cell_counts[method], 1)
+        for method in methods
+    }
+
+
+def _rank_cell(values: Sequence[Optional[float]], higher_is_better: bool):
+    """Competition ranks (ties share the average rank); None ranks worst."""
+    n = len(values)
+    present = [
+        (i, v) for i, v in enumerate(values) if v is not None and np.isfinite(v)
+    ]
+    missing = [i for i, v in enumerate(values) if v is None or not np.isfinite(v)]
+    ordered = sorted(
+        present, key=lambda pair: -pair[1] if higher_is_better else pair[1]
+    )
+    ranks = np.zeros(n)
+    position = 0
+    while position < len(ordered):
+        tie_end = position
+        while (
+            tie_end + 1 < len(ordered)
+            and ordered[tie_end + 1][1] == ordered[position][1]
+        ):
+            tie_end += 1
+        average_rank = (position + tie_end) / 2.0 + 1.0
+        for index in range(position, tie_end + 1):
+            ranks[ordered[index][0]] = average_rank
+        position = tie_end + 1
+    worst = float(n)
+    for index in missing:
+        ranks[index] = worst
+    return ranks.tolist()

@@ -1,0 +1,28 @@
+"""Minimal numpy neural-network substrate with manual backpropagation.
+
+The paper's GNN baselines (O2MAC, MAGCN, HDMI, ...) are PyTorch models; no
+deep-learning framework is available offline, so this subpackage provides
+the smallest substrate needed to train a GCN auto-encoder on CPU: dense and
+graph-convolution layers with hand-derived gradients, standard activations,
+Adam/SGD optimizers, and reconstruction losses.  Every gradient is verified
+against finite differences in the test suite.
+"""
+
+from repro.nn.activations import relu, relu_backward, sigmoid, tanh
+from repro.nn.autoencoder import GraphAutoEncoder
+from repro.nn.layers import DenseLayer, GCNLayer
+from repro.nn.losses import weighted_bce_with_logits_matrix
+from repro.nn.optimizers import Adam, SGD
+
+__all__ = [
+    "DenseLayer",
+    "GCNLayer",
+    "GraphAutoEncoder",
+    "Adam",
+    "SGD",
+    "relu",
+    "relu_backward",
+    "sigmoid",
+    "tanh",
+    "weighted_bce_with_logits_matrix",
+]

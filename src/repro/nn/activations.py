@@ -1,0 +1,40 @@
+"""Elementwise activations and their backward passes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_backward(grad_output: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Gradient of ReLU w.r.t. its input (``x`` is the forward input)."""
+    return grad_output * (x > 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically-stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def sigmoid_backward(grad_output: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Gradient of sigmoid w.r.t. input (``out`` is the forward *output*)."""
+    return grad_output * out * (1.0 - out)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent."""
+    return np.tanh(x)
+
+
+def tanh_backward(grad_output: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Gradient of tanh w.r.t. input (``out`` is the forward *output*)."""
+    return grad_output * (1.0 - out * out)

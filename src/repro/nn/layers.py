@@ -1,0 +1,112 @@
+"""Trainable layers with explicit forward/backward passes.
+
+Each layer caches whatever the backward pass needs, accumulates parameter
+gradients into ``grads``, and exposes ``params``/``grads`` dicts that the
+optimizers consume.  Weight initialization is Glorot-uniform, seeded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.errors import ValidationError
+from repro.utils.random import check_random_state
+
+
+def _glorot(shape, rng) -> np.ndarray:
+    fan_in, fan_out = shape
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+class DenseLayer:
+    """Affine layer ``y = x @ W + b``."""
+
+    def __init__(self, in_dim: int, out_dim: int, seed=0) -> None:
+        if in_dim < 1 or out_dim < 1:
+            raise ValidationError("layer dimensions must be positive")
+        rng = check_random_state(seed)
+        self.params: Dict[str, np.ndarray] = {
+            "W": _glorot((in_dim, out_dim), rng),
+            "b": np.zeros(out_dim),
+        }
+        self.grads: Dict[str, np.ndarray] = {
+            "W": np.zeros((in_dim, out_dim)),
+            "b": np.zeros(out_dim),
+        }
+        self._cache_x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``x @ W + b`` and cache ``x`` for backward."""
+        self._cache_x = x
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Accumulate dW/db and return the gradient w.r.t. the input."""
+        x = self._cache_x
+        if x is None:
+            raise ValidationError("backward called before forward")
+        self.grads["W"] += x.T @ grad_output
+        self.grads["b"] += grad_output.sum(axis=0)
+        return grad_output @ self.params["W"].T
+
+    def zero_grad(self) -> None:
+        """Reset accumulated gradients."""
+        for grad in self.grads.values():
+            grad[...] = 0.0
+
+
+class GCNLayer:
+    """Graph convolution ``y = A_hat @ x @ W + b`` (Kipf & Welling).
+
+    ``A_hat`` is a fixed (symmetric) propagation matrix — typically the
+    renormalized adjacency ``D~^-1/2 (A + I) D~^-1/2`` — supplied per
+    forward call so one layer can serve multiple graphs.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, seed=0) -> None:
+        if in_dim < 1 or out_dim < 1:
+            raise ValidationError("layer dimensions must be positive")
+        rng = check_random_state(seed)
+        self.params: Dict[str, np.ndarray] = {
+            "W": _glorot((in_dim, out_dim), rng),
+            "b": np.zeros(out_dim),
+        }
+        self.grads: Dict[str, np.ndarray] = {
+            "W": np.zeros((in_dim, out_dim)),
+            "b": np.zeros(out_dim),
+        }
+        self._cache_propagated: Optional[np.ndarray] = None
+        self._cache_a_hat = None
+
+    def forward(self, a_hat, x: np.ndarray) -> np.ndarray:
+        """Compute ``(A_hat @ x) @ W + b``; caches the propagated features."""
+        propagated = a_hat @ x
+        propagated = np.asarray(propagated)
+        self._cache_propagated = propagated
+        self._cache_a_hat = a_hat
+        return propagated @ self.params["W"] + self.params["b"]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Accumulate dW/db; return gradient w.r.t. the input features.
+
+        Uses ``A_hat`` symmetric: d(loss)/dx = A_hat.T @ grad @ W.T.
+        """
+        propagated = self._cache_propagated
+        a_hat = self._cache_a_hat
+        if propagated is None or a_hat is None:
+            raise ValidationError("backward called before forward")
+        self.grads["W"] += propagated.T @ grad_output
+        self.grads["b"] += grad_output.sum(axis=0)
+        grad_propagated = grad_output @ self.params["W"].T
+        if sp.issparse(a_hat):
+            return np.asarray(a_hat.T @ grad_propagated)
+        return a_hat.T @ grad_propagated
+
+    def zero_grad(self) -> None:
+        """Reset accumulated gradients."""
+        for grad in self.grads.values():
+            grad[...] = 0.0

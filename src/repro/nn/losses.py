@@ -1,0 +1,67 @@
+"""Reconstruction losses for graph auto-encoders.
+
+The inner-product decoder reconstructs an adjacency matrix as
+``sigmoid(Z @ Z.T)``; because real graphs are sparse, the positive entries
+are up-weighted (classic GAE recipe).  The loss function returns both the
+scalar loss and the gradient w.r.t. the code ``Z`` so the caller can
+backpropagate through the encoder.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.activations import sigmoid
+
+
+def weighted_bce_with_logits_matrix(
+    code: np.ndarray,
+    target: np.ndarray,
+    pos_weight: float,
+) -> Tuple[float, np.ndarray]:
+    """Weighted BCE between ``sigmoid(code @ code.T)`` and a 0/1 target.
+
+    Parameters
+    ----------
+    code:
+        ``(n, d)`` latent embedding ``Z``.
+    target:
+        Dense ``(n, n)`` binary adjacency (with self-loops allowed).
+    pos_weight:
+        Multiplier on the positive-entry loss terms (``#neg / #pos``
+        typically).
+
+    Returns
+    -------
+    (loss, grad_code):
+        Scalar mean loss and its gradient w.r.t. ``code``.
+    """
+    n = code.shape[0]
+    logits = code @ code.T
+    probabilities = sigmoid(logits)
+    clipped = np.clip(probabilities, 1e-10, 1.0 - 1e-10)
+    weights = np.where(target > 0, pos_weight, 1.0)
+    loss_matrix = -(
+        target * np.log(clipped) + (1.0 - target) * np.log(1.0 - clipped)
+    )
+    scale = 1.0 / (n * n)
+    loss = float((weights * loss_matrix).sum() * scale)
+
+    # d loss / d logits for weighted BCE: w * (p - y) elementwise.
+    grad_logits = weights * (probabilities - target) * scale
+    # logits = Z Z^T  =>  dZ = (G + G^T) Z.
+    grad_code = (grad_logits + grad_logits.T) @ code
+    return loss, grad_code
+
+
+def mse_matrix(code: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean-squared error between ``code @ code.T`` and a dense target."""
+    n = code.shape[0]
+    reconstruction = code @ code.T
+    difference = reconstruction - target
+    scale = 1.0 / (n * n)
+    loss = float((difference * difference).sum() * scale)
+    grad_code = (2.0 * scale) * (difference + difference.T) @ code
+    return loss, grad_code

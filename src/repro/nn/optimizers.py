@@ -1,0 +1,89 @@
+"""First-order optimizers operating on layer ``params``/``grads`` dicts."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+
+class SGD:
+    """Vanilla (optionally momentum) stochastic gradient descent."""
+
+    def __init__(self, layers: List, lr: float = 0.1, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValidationError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValidationError(f"momentum must be in [0, 1), got {momentum}")
+        self.layers = layers
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self._velocity: List[Dict[str, np.ndarray]] = [
+            {name: np.zeros_like(value) for name, value in layer.params.items()}
+            for layer in layers
+        ]
+
+    def step(self) -> None:
+        """Apply one update using the accumulated gradients."""
+        for layer, velocity in zip(self.layers, self._velocity):
+            for name, param in layer.params.items():
+                grad = layer.grads[name]
+                velocity[name] = self.momentum * velocity[name] - self.lr * grad
+                param += velocity[name]
+
+    def zero_grad(self) -> None:
+        """Reset gradients on all managed layers."""
+        for layer in self.layers:
+            layer.zero_grad()
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        layers: List,
+        lr: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValidationError(f"lr must be positive, got {lr}")
+        self.layers = layers
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._step_count = 0
+        self._first: List[Dict[str, np.ndarray]] = [
+            {name: np.zeros_like(value) for name, value in layer.params.items()}
+            for layer in layers
+        ]
+        self._second: List[Dict[str, np.ndarray]] = [
+            {name: np.zeros_like(value) for name, value in layer.params.items()}
+            for layer in layers
+        ]
+
+    def step(self) -> None:
+        """Apply one Adam update using the accumulated gradients."""
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1**self._step_count
+        correction2 = 1.0 - self.beta2**self._step_count
+        for layer, first, second in zip(self.layers, self._first, self._second):
+            for name, param in layer.params.items():
+                grad = layer.grads[name]
+                first[name] = self.beta1 * first[name] + (1 - self.beta1) * grad
+                second[name] = (
+                    self.beta2 * second[name] + (1 - self.beta2) * grad * grad
+                )
+                m_hat = first[name] / correction1
+                v_hat = second[name] / correction2
+                param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        """Reset gradients on all managed layers."""
+        for layer in self.layers:
+            layer.zero_grad()

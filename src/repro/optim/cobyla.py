@@ -1,0 +1,233 @@
+"""A from-scratch COBYLA-style optimizer for the capped simplex.
+
+Powell's COBYLA builds *linear interpolation models* of the objective over a
+simplex of trial points and minimizes the model inside a shrinking trust
+region, respecting inequality constraints.  This module implements that idea
+specialized to our feasible set (the capped simplex ``{u >= 0, sum u <= 1}``,
+see :mod:`repro.optim.simplex`), which lets the trust-region subproblem be
+solved by a projected model-gradient step instead of a general LP.
+
+The optimizer is derivative-free: it only ever calls ``func(u)``.  Its
+contract mirrors the paper's usage of COBYLA: start radius ``rho_start``,
+terminate when the trust radius falls below ``rho_end`` (the paper's
+``eps``) or the iteration cap is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.optim.simplex import project_to_capped_simplex
+from repro.utils.errors import ValidationError
+from repro.utils.random import check_random_state
+
+
+@dataclass
+class _TrustRegionState:
+    """Internal bookkeeping for one optimization run."""
+
+    points: np.ndarray  # (m + 1, m) vertex coordinates
+    values: np.ndarray  # (m + 1,) objective values
+    rho: float
+    n_evaluations: int = 0
+    history: List[Tuple[np.ndarray, float]] = field(default_factory=list)
+
+
+class LinearTrustRegion:
+    """Derivative-free linear-model trust-region minimizer.
+
+    Parameters
+    ----------
+    rho_start:
+        Initial trust radius (Powell's ``rhobeg``).
+    rho_end:
+        Final trust radius; optimization stops once the radius shrinks
+        below this (Powell's ``rhoend``; the paper's ``eps``).
+    max_evaluations:
+        Hard cap on objective calls.
+    expand, shrink:
+        Multiplicative radius updates after success/failure steps.
+    seed:
+        Seed for the (deterministic) simplex reseeding perturbations.
+    """
+
+    def __init__(
+        self,
+        rho_start: float = 0.25,
+        rho_end: float = 1e-3,
+        max_evaluations: int = 200,
+        expand: float = 1.3,
+        shrink: float = 0.5,
+        seed=0,
+    ) -> None:
+        if rho_start <= 0 or rho_end <= 0:
+            raise ValidationError("trust radii must be positive")
+        if rho_end > rho_start:
+            raise ValidationError("rho_end must not exceed rho_start")
+        if shrink >= 1.0 or shrink <= 0.0:
+            raise ValidationError("shrink must lie in (0, 1)")
+        if expand < 1.0:
+            raise ValidationError("expand must be >= 1")
+        self.rho_start = float(rho_start)
+        self.rho_end = float(rho_end)
+        self.max_evaluations = int(max_evaluations)
+        self.expand = float(expand)
+        self.shrink = float(shrink)
+        self._rng = check_random_state(seed)
+
+    # ------------------------------------------------------------------ #
+
+    def minimize(
+        self,
+        func: Callable[[np.ndarray], float],
+        x0,
+        callback: Optional[Callable[[np.ndarray, float], None]] = None,
+    ) -> dict:
+        """Minimize ``func`` over the capped simplex starting at ``x0``.
+
+        Returns a dict with keys ``x``, ``fun``, ``n_evaluations``,
+        ``n_iterations``, ``converged`` and ``history``.
+        """
+        x0 = project_to_capped_simplex(np.asarray(x0, dtype=np.float64))
+        dim = x0.size
+        if dim == 0:
+            # Degenerate single-view problem: the only feasible w is [1].
+            return {
+                "x": x0,
+                "fun": func(x0),
+                "n_evaluations": 1,
+                "n_iterations": 0,
+                "converged": True,
+                "history": [(x0.copy(), 0.0)],
+            }
+
+        state = self._initialize(func, x0, dim)
+        n_iterations = 0
+        converged = False
+        while state.n_evaluations < self.max_evaluations:
+            n_iterations += 1
+            if state.rho < self.rho_end:
+                converged = True
+                break
+            improved = self._step(func, state, dim)
+            best_idx = int(np.argmin(state.values))
+            if callback is not None:
+                callback(state.points[best_idx].copy(), float(state.values[best_idx]))
+            if not improved:
+                state.rho *= self.shrink
+                if self._degenerate(state):
+                    self._reseed(func, state, dim)
+            else:
+                state.rho = min(state.rho * self.expand, self.rho_start)
+
+        best_idx = int(np.argmin(state.values))
+        return {
+            "x": state.points[best_idx].copy(),
+            "fun": float(state.values[best_idx]),
+            "n_evaluations": state.n_evaluations,
+            "n_iterations": n_iterations,
+            "converged": converged,
+            "history": state.history,
+        }
+
+    # ------------------------------------------------------------------ #
+
+    def _evaluate(self, func, state: _TrustRegionState, point: np.ndarray) -> float:
+        value = float(func(point))
+        state.n_evaluations += 1
+        state.history.append((point.copy(), value))
+        return value
+
+    def _initialize(self, func, x0: np.ndarray, dim: int) -> _TrustRegionState:
+        points = np.empty((dim + 1, dim), dtype=np.float64)
+        points[0] = x0
+        for i in range(dim):
+            vertex = x0.copy()
+            vertex[i] += self.rho_start
+            points[i + 1] = project_to_capped_simplex(vertex)
+            if np.allclose(points[i + 1], x0):
+                # Projection collapsed the vertex (x0 on a face): step inward.
+                vertex = x0.copy()
+                vertex[i] -= self.rho_start
+                points[i + 1] = project_to_capped_simplex(vertex)
+        state = _TrustRegionState(
+            points=points,
+            values=np.empty(dim + 1),
+            rho=self.rho_start,
+        )
+        for i in range(dim + 1):
+            state.values[i] = self._evaluate(func, state, points[i])
+        return state
+
+    def _model_gradient(self, state: _TrustRegionState, dim: int) -> np.ndarray:
+        """Gradient of the linear interpolation model over the vertex set."""
+        base_idx = int(np.argmin(state.values))
+        base = state.points[base_idx]
+        base_value = state.values[base_idx]
+        rows = []
+        rhs = []
+        for i in range(dim + 1):
+            if i == base_idx:
+                continue
+            rows.append(state.points[i] - base)
+            rhs.append(state.values[i] - base_value)
+        matrix = np.asarray(rows)
+        rhs = np.asarray(rhs)
+        # Regularized least squares tolerates degenerate vertex geometry.
+        gram = matrix.T @ matrix + 1e-12 * np.eye(dim)
+        gradient = np.linalg.solve(gram, matrix.T @ rhs)
+        return gradient
+
+    def _step(self, func, state: _TrustRegionState, dim: int) -> bool:
+        gradient = self._model_gradient(state, dim)
+        norm = float(np.linalg.norm(gradient))
+        best_idx = int(np.argmin(state.values))
+        best = state.points[best_idx]
+        if norm < 1e-14:
+            direction = self._rng.standard_normal(dim)
+            direction /= max(np.linalg.norm(direction), 1e-14)
+        else:
+            direction = -gradient / norm
+        candidate = project_to_capped_simplex(best + state.rho * direction)
+        if np.allclose(candidate, best, atol=1e-15):
+            return False
+        value = self._evaluate(func, state, candidate)
+        worst_idx = int(np.argmax(state.values))
+        if value < state.values[best_idx]:
+            state.points[worst_idx] = candidate
+            state.values[worst_idx] = value
+            return True
+        if value < state.values[worst_idx]:
+            # Not a new best but improves the simplex; keep it, no expansion.
+            state.points[worst_idx] = candidate
+            state.values[worst_idx] = value
+        return False
+
+    def _degenerate(self, state: _TrustRegionState) -> bool:
+        spread = np.max(
+            np.linalg.norm(state.points - state.points.mean(axis=0), axis=1)
+        )
+        return spread < 0.25 * state.rho
+
+    def _reseed(self, func, state: _TrustRegionState, dim: int) -> None:
+        """Rebuild the vertex set around the incumbent at the current radius."""
+        best_idx = int(np.argmin(state.values))
+        best = state.points[best_idx].copy()
+        best_value = state.values[best_idx]
+        state.points[0] = best
+        state.values[0] = best_value
+        for i in range(dim):
+            if state.n_evaluations >= self.max_evaluations:
+                return
+            vertex = best.copy()
+            vertex[i] += state.rho
+            vertex = project_to_capped_simplex(vertex)
+            if np.allclose(vertex, best):
+                vertex = best.copy()
+                vertex[i] -= state.rho
+                vertex = project_to_capped_simplex(vertex)
+            state.points[i + 1] = vertex
+            state.values[i + 1] = self._evaluate(func, state, vertex)

@@ -1,0 +1,124 @@
+"""Penalized Nelder–Mead simplex search on the capped simplex.
+
+A robust derivative-free fallback backend.  Constraint handling is by exact
+projection of every trial point onto the feasible set, so the method never
+evaluates the objective outside the capped simplex (important: the spectral
+objective is undefined for negative view weights).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.optim.simplex import project_to_capped_simplex
+from repro.utils.errors import ValidationError
+
+
+def nelder_mead_simplex(
+    func: Callable[[np.ndarray], float],
+    x0,
+    initial_step: float = 0.25,
+    xatol: float = 1e-3,
+    fatol: float = 1e-8,
+    max_evaluations: int = 300,
+) -> dict:
+    """Minimize ``func`` over the capped simplex with projected Nelder–Mead.
+
+    Standard reflection/expansion/contraction/shrink moves; every generated
+    point is projected onto the feasible set before evaluation.  Terminates
+    when the vertex spread falls below ``xatol`` or value spread below
+    ``fatol``.
+    """
+    if initial_step <= 0:
+        raise ValidationError("initial_step must be positive")
+    x0 = project_to_capped_simplex(np.asarray(x0, dtype=np.float64))
+    dim = x0.size
+    history: List[Tuple[np.ndarray, float]] = []
+    evaluations = [0]
+
+    def evaluate(point: np.ndarray) -> float:
+        value = float(func(point))
+        evaluations[0] += 1
+        history.append((point.copy(), value))
+        return value
+
+    if dim == 0:
+        return {
+            "x": x0,
+            "fun": evaluate(x0),
+            "n_evaluations": evaluations[0],
+            "n_iterations": 0,
+            "converged": True,
+            "history": history,
+        }
+
+    vertices = [x0]
+    for i in range(dim):
+        vertex = x0.copy()
+        vertex[i] += initial_step
+        vertex = project_to_capped_simplex(vertex)
+        if np.allclose(vertex, x0):
+            vertex = x0.copy()
+            vertex[i] = max(0.0, vertex[i] - initial_step)
+            vertex = project_to_capped_simplex(vertex)
+        vertices.append(vertex)
+    vertices = np.asarray(vertices)
+    values = np.asarray([evaluate(v) for v in vertices])
+
+    alpha, gamma, rho_c, sigma = 1.0, 2.0, 0.5, 0.5
+    n_iterations = 0
+    converged = False
+    while evaluations[0] < max_evaluations:
+        n_iterations += 1
+        order = np.argsort(values)
+        vertices, values = vertices[order], values[order]
+        spread = np.max(np.linalg.norm(vertices[1:] - vertices[0], axis=1))
+        if spread < xatol or (values[-1] - values[0]) < fatol:
+            converged = True
+            break
+
+        centroid = vertices[:-1].mean(axis=0)
+        reflected = project_to_capped_simplex(
+            centroid + alpha * (centroid - vertices[-1])
+        )
+        f_reflected = evaluate(reflected)
+        if values[0] <= f_reflected < values[-2]:
+            vertices[-1], values[-1] = reflected, f_reflected
+            continue
+        if f_reflected < values[0]:
+            expanded = project_to_capped_simplex(
+                centroid + gamma * (reflected - centroid)
+            )
+            f_expanded = evaluate(expanded)
+            if f_expanded < f_reflected:
+                vertices[-1], values[-1] = expanded, f_expanded
+            else:
+                vertices[-1], values[-1] = reflected, f_reflected
+            continue
+        contracted = project_to_capped_simplex(
+            centroid + rho_c * (vertices[-1] - centroid)
+        )
+        f_contracted = evaluate(contracted)
+        if f_contracted < values[-1]:
+            vertices[-1], values[-1] = contracted, f_contracted
+            continue
+        # Shrink toward the best vertex.
+        for i in range(1, len(vertices)):
+            vertices[i] = project_to_capped_simplex(
+                vertices[0] + sigma * (vertices[i] - vertices[0])
+            )
+            values[i] = evaluate(vertices[i])
+            if evaluations[0] >= max_evaluations:
+                break
+
+    best = int(np.argmin(values))
+    return {
+        "x": vertices[best].copy(),
+        "fun": float(values[best]),
+        "n_evaluations": evaluations[0],
+        "n_iterations": n_iterations,
+        "converged": converged,
+        "history": history,
+    }

@@ -1,0 +1,73 @@
+"""Projections onto the probability simplex and its reduced form.
+
+The view-weight constraint set of the paper (Eq. 6) is the probability
+simplex ``{w in R^r : w_i >= 0, sum w = 1}``.  All optimizers here work in
+the *reduced* space of the first ``r - 1`` coordinates, whose feasible set
+is the "capped simplex" ``{u >= 0, sum(u) <= 1}``; the last weight is
+recovered as ``w_r = 1 - sum(u)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ShapeError, ValidationError
+
+
+def project_to_simplex(point) -> np.ndarray:
+    """Euclidean projection onto ``{w : w >= 0, sum w = 1}``.
+
+    Uses the classic O(d log d) sort-based algorithm (Held, Wolfe &
+    Crowder).  The output is the unique closest point of the simplex.
+    """
+    point = np.asarray(point, dtype=np.float64).ravel()
+    if point.size == 0:
+        raise ValidationError("cannot project an empty vector")
+    sorted_desc = np.sort(point)[::-1]
+    cumulative = np.cumsum(sorted_desc) - 1.0
+    indices = np.arange(1, point.size + 1)
+    mask = sorted_desc - cumulative / indices > 0
+    rho = int(indices[mask][-1])
+    theta = cumulative[rho - 1] / rho
+    return np.clip(point - theta, 0.0, None)
+
+
+def project_to_capped_simplex(point) -> np.ndarray:
+    """Euclidean projection onto ``{u : u >= 0, sum u <= 1}``.
+
+    If clipping negatives already satisfies the sum cap, that clip is the
+    projection; otherwise the projection lies on the face ``sum u = 1`` and
+    reduces to :func:`project_to_simplex`.
+    """
+    point = np.asarray(point, dtype=np.float64).ravel()
+    clipped = np.clip(point, 0.0, None)
+    if clipped.sum() <= 1.0:
+        return clipped
+    return project_to_simplex(point)
+
+
+def reduce_weights(weights) -> np.ndarray:
+    """Drop the last coordinate: full simplex point -> capped-simplex point."""
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    if weights.size < 1:
+        raise ShapeError("weights must have at least one entry")
+    return weights[:-1].copy()
+
+
+def restore_weights(reduced) -> np.ndarray:
+    """Append the implied last weight ``1 - sum(u)`` (clipped at zero)."""
+    reduced = np.asarray(reduced, dtype=np.float64).ravel()
+    last = max(0.0, 1.0 - float(reduced.sum()))
+    full = np.concatenate([reduced, [last]])
+    total = full.sum()
+    if total <= 0:
+        raise ValidationError("restored weights sum to zero")
+    return full / total
+
+
+def capped_simplex_violation(point) -> float:
+    """Max constraint violation of a point w.r.t. the capped simplex."""
+    point = np.asarray(point, dtype=np.float64).ravel()
+    negative = float(np.clip(-point, 0.0, None).max()) if point.size else 0.0
+    overflow = max(0.0, float(point.sum()) - 1.0)
+    return max(negative, overflow)

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything produced by this package with a single ``except``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input failed validation (bad value, inconsistent arguments)."""
+
+
+class ShapeError(ValidationError):
+    """An array or matrix has an incompatible shape."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative routine failed to converge within its budget."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a prior ``fit`` was called before fitting."""

@@ -1,0 +1,62 @@
+"""Deterministic randomness helpers.
+
+Every stochastic routine in the library accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None``.  :func:`check_random_state`
+normalizes all three into a ``Generator`` so downstream code never touches
+the legacy ``RandomState`` API.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+RandomStateLike = Union[None, int, np.random.Generator]
+
+
+def check_random_state(seed: RandomStateLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for nondeterministic entropy, an ``int`` for a fixed seed,
+        or an existing ``Generator`` which is returned unchanged.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise ValidationError(
+        f"seed must be None, an int, or a numpy Generator; got {type(seed)!r}"
+    )
+
+
+def spawn_rngs(seed: RandomStateLike, count: int) -> list:
+    """Derive ``count`` independent generators from one seed.
+
+    Useful when a routine runs several stochastic sub-procedures (for
+    example k-means restarts) that must not share a stream, yet must stay
+    reproducible as a whole.
+    """
+    if count < 0:
+        raise ValidationError(f"count must be nonnegative, got {count}")
+    root = check_random_state(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def random_simplex_point(
+    dim: int, rng: Optional[RandomStateLike] = None
+) -> np.ndarray:
+    """Sample a point uniformly from the probability simplex in ``R^dim``."""
+    if dim < 1:
+        raise ValidationError(f"dim must be >= 1, got {dim}")
+    generator = check_random_state(rng)
+    sample = generator.dirichlet(np.ones(dim))
+    return np.asarray(sample, dtype=np.float64)

@@ -1,0 +1,118 @@
+"""Sparse-matrix helpers used across the library.
+
+All graph adjacency and Laplacian matrices in this reproduction are stored
+as ``scipy.sparse.csr_matrix`` with ``float64`` data.  These helpers
+normalize arbitrary user input into that canonical form and provide the
+small structural operations (symmetrization, self-loop removal, row
+normalization) that nearly every module needs.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.errors import ShapeError, ValidationError
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def ensure_csr(matrix: MatrixLike, dtype=np.float64) -> sp.csr_matrix:
+    """Convert ``matrix`` (dense or any sparse format) to CSR float64.
+
+    Dense inputs are converted losslessly; already-CSR inputs are returned
+    with only a dtype cast when needed, avoiding copies on the hot path.
+    """
+    if sp.issparse(matrix):
+        result = matrix.tocsr()
+        if result.dtype != dtype:
+            result = result.astype(dtype)
+        return result
+    array = np.asarray(matrix)
+    if array.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got shape {array.shape}")
+    return sp.csr_matrix(array, dtype=dtype)
+
+
+def to_dense(matrix: MatrixLike) -> np.ndarray:
+    """Return a dense ``float64`` ndarray view/copy of ``matrix``."""
+    if sp.issparse(matrix):
+        return np.asarray(matrix.todense(), dtype=np.float64)
+    return np.asarray(matrix, dtype=np.float64)
+
+
+def is_symmetric(matrix: MatrixLike, tol: float = 1e-10) -> bool:
+    """Check symmetry of a square matrix up to absolute tolerance ``tol``."""
+    matrix = ensure_csr(matrix)
+    if matrix.shape[0] != matrix.shape[1]:
+        return False
+    difference = (matrix - matrix.T).tocoo()
+    if difference.nnz == 0:
+        return True
+    return bool(np.max(np.abs(difference.data)) <= tol)
+
+
+def symmetrize(matrix: MatrixLike, mode: str = "max") -> sp.csr_matrix:
+    """Make a square matrix symmetric.
+
+    Parameters
+    ----------
+    matrix:
+        Square matrix to symmetrize.
+    mode:
+        ``"max"`` keeps the elementwise maximum of ``A`` and ``A.T`` (the
+        convention the paper uses for KNN graphs), ``"mean"`` averages them,
+        and ``"or"`` treats any nonzero as an edge of weight from ``A+A.T``.
+    """
+    matrix = ensure_csr(matrix)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ShapeError(f"cannot symmetrize non-square shape {matrix.shape}")
+    if mode == "max":
+        return matrix.maximum(matrix.T).tocsr()
+    if mode == "mean":
+        return ((matrix + matrix.T) * 0.5).tocsr()
+    if mode == "or":
+        return (matrix + matrix.T - matrix.minimum(matrix.T)).tocsr()
+    raise ValidationError(f"unknown symmetrize mode {mode!r}")
+
+
+def remove_self_loops(matrix: MatrixLike) -> sp.csr_matrix:
+    """Zero the diagonal of a square sparse matrix and drop explicit zeros."""
+    matrix = ensure_csr(matrix).copy()
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ShapeError(f"expected square matrix, got {matrix.shape}")
+    matrix.setdiag(0.0)
+    matrix.eliminate_zeros()
+    return matrix
+
+
+def row_normalize(matrix: MatrixLike) -> sp.csr_matrix:
+    """Scale each row to sum to one; all-zero rows are left untouched."""
+    matrix = ensure_csr(matrix)
+    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+    scale = np.ones_like(row_sums)
+    nonzero = row_sums != 0
+    scale[nonzero] = 1.0 / row_sums[nonzero]
+    return sp.diags(scale).dot(matrix).tocsr()
+
+
+def degree_vector(adjacency: MatrixLike) -> np.ndarray:
+    """Generalized degrees: row sums of the (weighted) adjacency matrix."""
+    adjacency = ensure_csr(adjacency)
+    return np.asarray(adjacency.sum(axis=1)).ravel()
+
+
+def edge_count(adjacency: MatrixLike) -> int:
+    """Number of undirected edges (nnz above the diagonal) in ``adjacency``."""
+    adjacency = ensure_csr(adjacency)
+    upper = sp.triu(adjacency, k=1)
+    return int(upper.nnz)
+
+
+def sparse_identity(n: int) -> sp.csr_matrix:
+    """CSR identity matrix of order ``n``."""
+    if n < 0:
+        raise ValidationError(f"n must be nonnegative, got {n}")
+    return sp.identity(n, dtype=np.float64, format="csr")

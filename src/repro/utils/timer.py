@@ -1,0 +1,54 @@
+"""Wall-clock timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulating named timer.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.section("eigensolve"):
+    ...     pass
+    >>> isinstance(timer.total("eigensolve"), float)
+    True
+    """
+
+    sections: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Time the enclosed block and add it to ``name``'s total."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.sections[name] = self.sections.get(name, 0.0) + elapsed
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if never timed)."""
+        return self.sections.get(name, 0.0)
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-section report, slowest first."""
+        ordered = sorted(self.sections.items(), key=lambda kv: -kv[1])
+        return "\n".join(f"{name}: {secs:.4f}s" for name, secs in ordered)
+
+
+@contextmanager
+def timed() -> Iterator[dict]:
+    """Context manager yielding a dict whose ``"seconds"`` key is filled on exit."""
+    record = {"seconds": None}
+    start = time.perf_counter()
+    try:
+        yield record
+    finally:
+        record["seconds"] = time.perf_counter() - start

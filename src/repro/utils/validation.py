@@ -1,0 +1,82 @@
+"""Input validation helpers.
+
+These raise :class:`repro.utils.errors.ValidationError` (a ``ValueError``
+subclass) with actionable messages; library code validates at public API
+boundaries and then trusts its inputs internally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.errors import ShapeError, ValidationError
+
+
+def check_square(matrix, name: str = "matrix"):
+    """Ensure ``matrix`` is 2-D square; return it unchanged."""
+    shape = matrix.shape
+    if len(shape) != 2 or shape[0] != shape[1]:
+        raise ShapeError(f"{name} must be square, got shape {shape}")
+    return matrix
+
+
+def check_finite(array, name: str = "array"):
+    """Ensure a dense or sparse array contains no NaN/inf entries."""
+    data = array.data if sp.issparse(array) else np.asarray(array)
+    if data.size and not np.all(np.isfinite(data)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return array
+
+
+def check_labels(labels, n: Optional[int] = None) -> np.ndarray:
+    """Validate an integer label vector; return it as an int64 array."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size == 0:
+        raise ValidationError("labels must be non-empty")
+    if not np.issubdtype(labels.dtype, np.integer):
+        rounded = np.round(labels)
+        if not np.allclose(labels, rounded):
+            raise ValidationError("labels must be integers")
+        labels = rounded
+    if n is not None and labels.shape[0] != n:
+        raise ShapeError(f"expected {n} labels, got {labels.shape[0]}")
+    return labels.astype(np.int64)
+
+
+def check_weights(weights, r: Optional[int] = None, tol: float = 1e-6) -> np.ndarray:
+    """Validate a view-weight vector: nonnegative, sums to one.
+
+    Parameters
+    ----------
+    weights:
+        Candidate weight vector.
+    r:
+        Expected length (number of views), checked when given.
+    tol:
+        Tolerance on nonnegativity and the sum-to-one constraint.
+    """
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    if r is not None and weights.shape[0] != r:
+        raise ShapeError(f"expected {r} weights, got {weights.shape[0]}")
+    if weights.size == 0:
+        raise ValidationError("weights must be non-empty")
+    if np.any(weights < -tol):
+        raise ValidationError(f"weights must be nonnegative, got {weights}")
+    total = float(weights.sum())
+    if abs(total - 1.0) > max(tol, 1e-8 * weights.size):
+        raise ValidationError(f"weights must sum to 1, got sum {total}")
+    return np.clip(weights, 0.0, None)
+
+
+def check_embedding_dim(dim: int, n: int) -> int:
+    """Validate an embedding dimensionality against the number of nodes."""
+    if not isinstance(dim, (int, np.integer)) or dim < 1:
+        raise ValidationError(f"embedding dim must be a positive int, got {dim}")
+    if dim >= n:
+        raise ValidationError(f"embedding dim {dim} must be < n ({n})")
+    return int(dim)

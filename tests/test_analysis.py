@@ -1,0 +1,120 @@
+"""Tests for t-SNE, separation scores, convergence traces, memory probe."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import convergence_trace
+from repro.analysis.memory import peak_rss_mb
+from repro.analysis.separation import class_separation, silhouette_score
+from repro.analysis.tsne import kl_divergence, tsne
+from repro.utils.errors import ValidationError
+
+
+def three_blobs(per=25, separation=8.0, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0], [separation, 0], [0, separation]])
+    points = np.vstack(
+        [center + rng.standard_normal((per, 2)) for center in centers]
+    )
+    labels = np.repeat(np.arange(3), per)
+    return points, labels
+
+
+class TestTsne:
+    def test_output_shape_and_finite(self):
+        points, _ = three_blobs(per=15)
+        embedding = tsne(points, dim=2, n_iterations=120, seed=0)
+        assert embedding.shape == (45, 2)
+        assert np.all(np.isfinite(embedding))
+
+    def test_separates_blobs(self):
+        points, labels = three_blobs(per=20, seed=1)
+        embedding = tsne(points, dim=2, n_iterations=300, seed=0)
+        assert class_separation(embedding, labels) > 1.0
+
+    def test_better_than_random_layout(self):
+        points, _ = three_blobs(per=15, seed=2)
+        embedding = tsne(points, dim=2, n_iterations=250, seed=0)
+        rng = np.random.default_rng(3)
+        random_layout = rng.standard_normal(embedding.shape)
+        assert kl_divergence(points, embedding) < kl_divergence(
+            points, random_layout
+        )
+
+    def test_deterministic(self):
+        points, _ = three_blobs(per=10, seed=4)
+        a = tsne(points, n_iterations=50, seed=5)
+        b = tsne(points, n_iterations=50, seed=5)
+        np.testing.assert_allclose(a, b)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValidationError):
+            tsne(np.ones((3, 2)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValidationError):
+            tsne(np.ones(10))
+
+
+class TestSeparationScores:
+    def test_silhouette_separated_blobs_high(self):
+        points, labels = three_blobs(separation=12.0, seed=5)
+        assert silhouette_score(points, labels) > 0.8
+
+    def test_silhouette_random_near_zero(self):
+        rng = np.random.default_rng(6)
+        points = rng.standard_normal((90, 2))
+        labels = np.repeat(np.arange(3), 30)
+        assert abs(silhouette_score(points, labels)) < 0.15
+
+    def test_silhouette_needs_two_classes(self):
+        with pytest.raises(ValidationError):
+            silhouette_score(np.ones((10, 2)), np.zeros(10, dtype=int))
+
+    def test_silhouette_sampling_cap(self):
+        points, labels = three_blobs(per=40, seed=7)
+        capped = silhouette_score(points, labels, sample_cap=60, seed=0)
+        assert -1.0 <= capped <= 1.0
+
+    def test_class_separation_orders_embeddings(self):
+        tight, labels = three_blobs(separation=12.0, seed=8)
+        loose, _ = three_blobs(separation=1.0, seed=8)
+        assert class_separation(tight, labels) > class_separation(loose, labels)
+
+
+class TestConvergenceTrace:
+    def test_objective_monotone(self, easy_mvag, easy_laplacians):
+        from repro.core.sgla import SGLA
+
+        result = SGLA(t_max=25).fit(easy_mvag)
+        trace = convergence_trace(result.history)
+        assert np.all(np.diff(trace.objective) <= 1e-12)
+        assert trace.iterations.shape == trace.objective.shape
+
+    def test_accuracy_series(self, easy_mvag, easy_laplacians):
+        from repro.core.sgla import SGLA
+
+        result = SGLA(t_max=12).fit(easy_mvag)
+        trace = convergence_trace(
+            result.history,
+            laplacians=easy_laplacians,
+            k=3,
+            labels_true=easy_mvag.labels,
+            accuracy_stride=4,
+        )
+        assert trace.accuracy is not None
+        assert np.all(np.isfinite(trace.accuracy))
+        assert trace.accuracy.max() <= 1.0
+
+    def test_termination_marker_in_range(self, easy_mvag):
+        from repro.core.sgla import SGLA
+
+        result = SGLA(t_max=20).fit(easy_mvag)
+        trace = convergence_trace(result.history)
+        assert 1 <= trace.termination_iteration <= len(result.history)
+
+
+class TestMemoryProbe:
+    def test_positive_and_plausible(self):
+        rss = peak_rss_mb()
+        assert 10.0 < rss < 1_000_000.0

@@ -1,0 +1,78 @@
+"""Tests for the view-weight interpretation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.weights import (
+    effective_view_count,
+    format_weight_report,
+    weight_entropy,
+    weight_report,
+)
+from repro.utils.errors import ValidationError
+from repro.utils.random import random_simplex_point
+
+
+class TestEntropy:
+    def test_uniform_is_one(self):
+        assert weight_entropy(np.full(5, 0.2)) == pytest.approx(1.0)
+
+    def test_one_hot_is_zero(self):
+        assert weight_entropy([1.0, 0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_single_view_defined(self):
+        assert weight_entropy([1.0]) == 1.0
+
+    @given(st.integers(min_value=2, max_value=10), st.integers(0, 100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_range(self, r, seed):
+        weights = random_simplex_point(r, rng=seed)
+        assert 0.0 <= weight_entropy(weights) <= 1.0 + 1e-12
+
+
+class TestEffectiveViews:
+    def test_uniform_equals_r(self):
+        assert effective_view_count(np.full(4, 0.25)) == pytest.approx(4.0)
+
+    def test_one_hot_equals_one(self):
+        assert effective_view_count([0.0, 1.0]) == pytest.approx(1.0)
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(0, 100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_bounds(self, r, seed):
+        weights = random_simplex_point(r, rng=seed)
+        effective = effective_view_count(weights)
+        assert 1.0 - 1e-9 <= effective <= r + 1e-9
+
+
+class TestReport:
+    def test_ranks_follow_weights(self):
+        report = weight_report([0.2, 0.5, 0.3])
+        by_index = {row.index: row for row in report}
+        assert by_index[1].rank_by_weight == 1
+        assert by_index[2].rank_by_weight == 2
+        assert by_index[0].rank_by_weight == 3
+
+    def test_solo_probe(self, easy_laplacians):
+        from repro.core.objective import SpectralObjective
+
+        objective = SpectralObjective(easy_laplacians, k=3, gamma=0.5)
+        report = weight_report(
+            np.full(3, 1 / 3), objective=objective, probe_solo=True
+        )
+        assert all(row.solo_objective is not None for row in report)
+        # The noisy view (index 1 in the fixture) should have the worst
+        # standalone objective.
+        worst = max(report, key=lambda row: row.solo_objective)
+        assert worst.index == 1
+
+    def test_probe_requires_objective(self):
+        with pytest.raises(ValidationError):
+            weight_report([0.5, 0.5], probe_solo=True)
+
+    def test_formatting(self):
+        text = format_weight_report(weight_report([0.7, 0.3]))
+        assert "view" in text
+        assert "0.7000" in text

@@ -1,0 +1,118 @@
+"""Tests for the from-scratch k-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.kmeans import kmeans
+from repro.evaluation.clustering_metrics import adjusted_rand_index
+from repro.utils.errors import ValidationError
+
+
+def gaussian_blobs(k, per_cluster, spread=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((k, 3)) * 5.0
+    points = np.vstack(
+        [
+            centers[c] + spread * rng.standard_normal((per_cluster, 3))
+            for c in range(k)
+        ]
+    )
+    labels = np.repeat(np.arange(k), per_cluster)
+    return points, labels
+
+
+class TestCorrectness:
+    def test_separated_blobs_recovered(self):
+        points, labels = gaussian_blobs(4, 25, seed=1)
+        result = kmeans(points, 4, seed=0)
+        assert adjusted_rand_index(labels, result.labels) == pytest.approx(1.0)
+
+    def test_inertia_is_consistent(self):
+        points, _ = gaussian_blobs(3, 20, seed=2)
+        result = kmeans(points, 3, seed=0)
+        manual = sum(
+            np.sum((points[result.labels == c] - center) ** 2)
+            for c, center in enumerate(result.centers)
+        )
+        assert result.inertia == pytest.approx(manual, rel=1e-8)
+
+    def test_k_equals_one(self):
+        points, _ = gaussian_blobs(2, 10)
+        result = kmeans(points, 1, seed=0)
+        assert set(result.labels) == {0}
+        np.testing.assert_allclose(result.centers[0], points.mean(axis=0))
+
+    def test_k_equals_n(self):
+        points = np.arange(10, dtype=float).reshape(5, 2) * 10
+        result = kmeans(points, 5, n_init=3, seed=0)
+        assert len(set(result.labels)) == 5
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_no_empty_clusters(self):
+        rng = np.random.default_rng(3)
+        points = rng.standard_normal((60, 2))
+        result = kmeans(points, 8, seed=1)
+        assert len(set(result.labels)) == 8
+
+    def test_duplicate_points(self):
+        points = np.ones((20, 3))
+        result = kmeans(points, 3, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+
+class TestDeterminismAndInit:
+    def test_deterministic_given_seed(self):
+        points, _ = gaussian_blobs(3, 15, seed=4)
+        a = kmeans(points, 3, seed=7)
+        b = kmeans(points, 3, seed=7)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_kmeanspp_not_worse_than_random(self):
+        points, _ = gaussian_blobs(5, 20, spread=0.5, seed=5)
+        plus = kmeans(points, 5, init="k-means++", n_init=3, seed=0)
+        random = kmeans(points, 5, init="random", n_init=3, seed=0)
+        assert plus.inertia <= random.inertia * 1.5
+
+    def test_more_restarts_never_worse(self):
+        points, _ = gaussian_blobs(4, 15, spread=1.5, seed=6)
+        one = kmeans(points, 4, n_init=1, seed=0)
+        many = kmeans(points, 4, n_init=10, seed=0)
+        assert many.inertia <= one.inertia + 1e-9
+
+
+class TestValidation:
+    def test_bad_k(self):
+        with pytest.raises(ValidationError):
+            kmeans(np.ones((5, 2)), 0)
+        with pytest.raises(ValidationError):
+            kmeans(np.ones((5, 2)), 6)
+
+    def test_bad_init(self):
+        with pytest.raises(ValidationError):
+            kmeans(np.ones((5, 2)), 2, init="magic")
+
+    def test_bad_n_init(self):
+        with pytest.raises(ValidationError):
+            kmeans(np.ones((5, 2)), 2, n_init=0)
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValidationError):
+            kmeans(np.ones(5), 2)
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=10, max_value=40),
+        st.integers(0, 100_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_labels_in_range_and_inertia_nonnegative(self, k, n, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.standard_normal((n, 3))
+        result = kmeans(points, k, n_init=2, seed=seed)
+        assert result.labels.shape == (n,)
+        assert set(result.labels) <= set(range(k))
+        assert result.inertia >= 0.0

@@ -1,0 +1,97 @@
+"""Tests for spectral clustering and the Yu-Shi discretization."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.discretize import discretize
+from repro.cluster.spectral import spectral_clustering, spectral_embedding_matrix
+from repro.core.laplacian import normalized_laplacian
+from repro.evaluation.clustering_metrics import adjusted_rand_index
+from repro.utils.errors import ValidationError
+
+
+class TestDiscretize:
+    def test_one_hot_embedding_recovered(self):
+        """A perfect indicator embedding discretizes to itself."""
+        indicator = np.zeros((30, 3))
+        labels = np.repeat(np.arange(3), 10)
+        indicator[np.arange(30), labels] = 1.0
+        predicted = discretize(indicator, seed=0)
+        assert adjusted_rand_index(labels, predicted) == pytest.approx(1.0)
+
+    def test_rotated_embedding_recovered(self):
+        """Discretization must undo an arbitrary orthogonal rotation."""
+        rng = np.random.default_rng(1)
+        indicator = np.zeros((45, 3))
+        labels = np.repeat(np.arange(3), 15)
+        indicator[np.arange(45), labels] = 1.0
+        rotation, _ = np.linalg.qr(rng.standard_normal((3, 3)))
+        predicted = discretize(indicator @ rotation, seed=0)
+        assert adjusted_rand_index(labels, predicted) == pytest.approx(1.0)
+
+    def test_single_column(self):
+        predicted = discretize(np.ones((10, 1)))
+        assert set(predicted) == {0}
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValidationError):
+            discretize(np.ones(5))
+        with pytest.raises(ValidationError):
+            discretize(np.ones((2, 5)))
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(2)
+        embedding = rng.standard_normal((40, 4))
+        a = discretize(embedding, seed=9)
+        b = discretize(embedding, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpectralClustering:
+    def test_ring_of_cliques(self, ring_of_cliques):
+        adjacency, labels = ring_of_cliques
+        laplacian = normalized_laplacian(adjacency)
+        predicted = spectral_clustering(laplacian, 4, seed=0)
+        assert adjusted_rand_index(labels, predicted) == pytest.approx(1.0)
+
+    def test_kmeans_assignment_matches(self, ring_of_cliques):
+        adjacency, labels = ring_of_cliques
+        laplacian = normalized_laplacian(adjacency)
+        predicted = spectral_clustering(laplacian, 4, assign="kmeans", seed=0)
+        assert adjusted_rand_index(labels, predicted) == pytest.approx(1.0)
+
+    def test_k_one(self, ring_of_cliques):
+        adjacency, _ = ring_of_cliques
+        laplacian = normalized_laplacian(adjacency)
+        predicted = spectral_clustering(laplacian, 1)
+        assert set(predicted) == {0}
+
+    def test_invalid_assignment(self, ring_of_cliques):
+        adjacency, _ = ring_of_cliques
+        laplacian = normalized_laplacian(adjacency)
+        with pytest.raises(ValidationError):
+            spectral_clustering(laplacian, 2, assign="votes")
+
+    def test_invalid_k(self, ring_of_cliques):
+        adjacency, _ = ring_of_cliques
+        with pytest.raises(ValidationError):
+            spectral_clustering(normalized_laplacian(adjacency), 0)
+
+
+class TestSpectralEmbeddingMatrix:
+    def test_shape(self, ring_of_cliques):
+        adjacency, _ = ring_of_cliques
+        laplacian = normalized_laplacian(adjacency)
+        embedding = spectral_embedding_matrix(laplacian, 4)
+        assert embedding.shape == (adjacency.shape[0], 4)
+
+    def test_drop_first(self, ring_of_cliques):
+        adjacency, _ = ring_of_cliques
+        laplacian = normalized_laplacian(adjacency)
+        kept = spectral_embedding_matrix(laplacian, 3, drop_first=True)
+        full = spectral_embedding_matrix(laplacian, 4, drop_first=False)
+        # Dropping the trivial eigenvector shifts the window by one.
+        assert kept.shape == (adjacency.shape[0], 3)
+        # Same subspace: compare spans via projection Frobenius norm.
+        overlap = np.linalg.norm(kept.T @ full[:, 1:4])
+        assert overlap == pytest.approx(3.0**0.5, rel=0.2)

@@ -1,0 +1,115 @@
+"""Tests for cosine KNN graph construction."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.knn import knn_graph
+from repro.utils.errors import ValidationError
+from repro.utils.sparse import is_symmetric
+
+
+class TestBasics:
+    def test_exact_neighbors_tiny(self):
+        # Three orthogonal-ish points plus one duplicate direction: the
+        # duplicate pair must be mutual 1-NN with similarity ~1.
+        features = np.array(
+            [[1.0, 0.0], [1.0, 0.01], [0.0, 1.0], [-1.0, 0.2]]
+        )
+        graph = knn_graph(features, k=1)
+        assert graph[0, 1] == pytest.approx(1.0, abs=1e-3)
+        assert graph[1, 0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(0)
+        graph = knn_graph(rng.standard_normal((40, 5)), k=4)
+        assert is_symmetric(graph)
+        assert graph.diagonal().sum() == 0.0
+
+    def test_weights_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        graph = knn_graph(rng.standard_normal((30, 8)), k=5)
+        assert graph.data.min() >= 0.0
+        assert graph.data.max() <= 1.0 + 1e-12
+
+    def test_unweighted_mode(self):
+        rng = np.random.default_rng(2)
+        graph = knn_graph(np.abs(rng.standard_normal((20, 4))), k=3,
+                          weighted=False)
+        assert set(np.unique(graph.data)) <= {1.0}
+
+    def test_min_degree_k(self):
+        """After max-symmetrization every node keeps >= k neighbors'
+        worth of structure (its own k outgoing edges survive)."""
+        rng = np.random.default_rng(3)
+        k = 4
+        graph = knn_graph(np.abs(rng.standard_normal((25, 6))) + 0.1, k=k)
+        degrees = np.asarray((graph > 0).sum(axis=1)).ravel()
+        assert degrees.min() >= k
+
+    def test_k_clamped_to_n_minus_one(self):
+        features = np.abs(np.random.default_rng(4).standard_normal((5, 3)))
+        graph = knn_graph(features, k=100)
+        degrees = np.asarray((graph > 0).sum(axis=1)).ravel()
+        assert degrees.max() <= 4
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            knn_graph(np.ones((4, 2)), k=0)
+
+    def test_single_node(self):
+        graph = knn_graph(np.ones((1, 3)), k=2)
+        assert graph.shape == (1, 1)
+        assert graph.nnz == 0
+
+    def test_nan_rejected(self):
+        features = np.ones((4, 2))
+        features[1, 1] = np.nan
+        with pytest.raises(ValidationError):
+            knn_graph(features, k=1)
+
+
+class TestSparseDenseAgreement:
+    def test_sparse_matches_dense(self):
+        rng = np.random.default_rng(5)
+        dense = np.abs(rng.standard_normal((30, 12)))
+        dense[dense < 0.7] = 0.0
+        sparse = sp.csr_matrix(dense)
+        g_dense = knn_graph(dense, k=4)
+        g_sparse = knn_graph(sparse, k=4)
+        np.testing.assert_allclose(
+            g_dense.toarray(), g_sparse.toarray(), atol=1e-10
+        )
+
+    def test_blocked_matches_unblocked(self):
+        rng = np.random.default_rng(6)
+        features = rng.standard_normal((50, 7))
+        whole = knn_graph(features, k=5, block_size=4096)
+        blocked = knn_graph(features, k=5, block_size=7)
+        np.testing.assert_allclose(whole.toarray(), blocked.toarray(), atol=1e-10)
+
+
+class TestClusterStructure:
+    def test_two_blobs_disconnect(self):
+        """Two well-separated Gaussian blobs should form two components."""
+        rng = np.random.default_rng(7)
+        blob_a = rng.standard_normal((20, 3)) * 0.05 + np.array([10.0, 0, 0])
+        blob_b = rng.standard_normal((20, 3)) * 0.05 + np.array([0, 10.0, 0])
+        graph = knn_graph(np.vstack([blob_a, blob_b]), k=3)
+        n_components, assignment = sp.csgraph.connected_components(graph)
+        assert n_components == 2
+        assert len(set(assignment[:20])) == 1
+        assert len(set(assignment[20:])) == 1
+
+    @given(st.integers(min_value=5, max_value=30), st.integers(1, 4),
+           st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_structural_invariants(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        graph = knn_graph(rng.standard_normal((n, 4)), k=k)
+        assert graph.shape == (n, n)
+        assert is_symmetric(graph)
+        assert graph.diagonal().sum() == 0.0
+        assert graph.nnz == 0 or graph.data.min() >= 0.0

@@ -1,0 +1,149 @@
+"""Tests for normalized Laplacians and weighted aggregation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.laplacian import (
+    aggregate_adjacencies,
+    aggregate_laplacians,
+    build_view_laplacians,
+    normalized_adjacency,
+    normalized_laplacian,
+)
+from repro.core.mvag import MVAG
+from repro.utils.errors import ShapeError, ValidationError
+from repro.utils.sparse import is_symmetric, to_dense
+
+
+def path_graph(n):
+    adjacency = sp.lil_matrix((n, n))
+    for i in range(n - 1):
+        adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+    return adjacency.tocsr()
+
+
+def complete_graph(n):
+    return sp.csr_matrix(np.ones((n, n)) - np.eye(n))
+
+
+class TestNormalizedLaplacian:
+    def test_complete_graph_spectrum(self):
+        """K_n has eigenvalues {0, n/(n-1) x (n-1)}."""
+        n = 6
+        laplacian = normalized_laplacian(complete_graph(n))
+        values = np.sort(np.linalg.eigvalsh(to_dense(laplacian)))
+        assert values[0] == pytest.approx(0.0, abs=1e-10)
+        np.testing.assert_allclose(values[1:], n / (n - 1), atol=1e-10)
+
+    def test_spectrum_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        adjacency = sp.random(30, 30, density=0.2, random_state=1)
+        adjacency = adjacency.maximum(adjacency.T)
+        adjacency.setdiag(0)
+        laplacian = normalized_laplacian(adjacency)
+        values = np.linalg.eigvalsh(to_dense(laplacian))
+        assert values.min() >= -1e-10
+        assert values.max() <= 2.0 + 1e-10
+
+    def test_isolated_node_diagonal_one(self):
+        adjacency = sp.csr_matrix((3, 3))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        laplacian = normalized_laplacian(adjacency.tocsr())
+        assert laplacian[2, 2] == pytest.approx(1.0)
+
+    def test_connected_graph_has_one_zero_eigenvalue(self):
+        laplacian = normalized_laplacian(path_graph(10))
+        values = np.sort(np.linalg.eigvalsh(to_dense(laplacian)))
+        assert values[0] == pytest.approx(0.0, abs=1e-10)
+        assert values[1] > 1e-6
+
+    def test_two_components_two_zero_eigenvalues(self):
+        block = to_dense(complete_graph(4))
+        adjacency = sp.csr_matrix(np.block([
+            [block, np.zeros((4, 4))],
+            [np.zeros((4, 4)), block],
+        ]))
+        values = np.sort(np.linalg.eigvalsh(to_dense(
+            normalized_laplacian(adjacency))))
+        assert values[1] == pytest.approx(0.0, abs=1e-10)
+        assert values[2] > 1e-6
+
+    def test_symmetry(self):
+        laplacian = normalized_laplacian(path_graph(12))
+        assert is_symmetric(laplacian)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ShapeError):
+            normalized_laplacian(np.ones((2, 3)))
+
+    def test_normalized_adjacency_complement(self):
+        adjacency = path_graph(8)
+        lap = to_dense(normalized_laplacian(adjacency))
+        adj_norm = to_dense(normalized_adjacency(adjacency))
+        np.testing.assert_allclose(lap + adj_norm, np.eye(8), atol=1e-12)
+
+
+class TestAggregation:
+    def test_single_view_identity(self):
+        laplacian = normalized_laplacian(path_graph(5))
+        aggregated = aggregate_laplacians([laplacian], [1.0])
+        np.testing.assert_allclose(
+            to_dense(aggregated), to_dense(laplacian), atol=1e-12
+        )
+
+    def test_linear_in_weights(self):
+        lap_a = normalized_laplacian(path_graph(6))
+        lap_b = normalized_laplacian(complete_graph(6))
+        aggregated = aggregate_laplacians([lap_a, lap_b], [0.3, 0.7])
+        expected = 0.3 * to_dense(lap_a) + 0.7 * to_dense(lap_b)
+        np.testing.assert_allclose(to_dense(aggregated), expected, atol=1e-12)
+
+    def test_weights_validated(self):
+        laplacian = normalized_laplacian(path_graph(4))
+        with pytest.raises(ValidationError):
+            aggregate_laplacians([laplacian], [0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            aggregate_laplacians([], [])
+
+    def test_shape_mismatch_rejected(self):
+        lap_a = normalized_laplacian(path_graph(4))
+        lap_b = normalized_laplacian(path_graph(5))
+        with pytest.raises(ShapeError):
+            aggregate_laplacians([lap_a, lap_b], [0.5, 0.5])
+
+    @given(st.integers(0, 1_000_000))
+    @settings(max_examples=20, deadline=None)
+    def test_aggregated_spectrum_stays_bounded(self, seed):
+        """Convex combinations of normalized Laplacians stay PSD with
+        spectrum <= 2 — the invariant the whole method rests on."""
+        rng = np.random.default_rng(seed)
+        views = []
+        for _ in range(3):
+            raw = sp.random(15, 15, density=0.3,
+                            random_state=int(rng.integers(1 << 30)))
+            raw = raw.maximum(raw.T)
+            raw.setdiag(0)
+            views.append(normalized_laplacian(raw))
+        weights = rng.dirichlet(np.ones(3))
+        values = np.linalg.eigvalsh(to_dense(aggregate_laplacians(views, weights)))
+        assert values.min() >= -1e-9
+        assert values.max() <= 2.0 + 1e-9
+
+
+class TestBuildViewLaplacians:
+    def test_counts_and_order(self, easy_mvag):
+        laplacians = build_view_laplacians(easy_mvag, knn_k=5)
+        assert len(laplacians) == easy_mvag.n_views
+        for laplacian in laplacians:
+            assert laplacian.shape == (easy_mvag.n_nodes,) * 2
+
+    def test_graph_agg_matches_manual(self):
+        mvag = MVAG(graph_views=[path_graph(6), complete_graph(6)])
+        total = aggregate_adjacencies(mvag)
+        expected = to_dense(path_graph(6)) + to_dense(complete_graph(6))
+        np.testing.assert_allclose(to_dense(total), expected, atol=1e-12)

@@ -1,0 +1,119 @@
+"""Tests for the MVAG data model."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.mvag import MVAG, ViewStats
+from repro.utils.errors import ShapeError, ValidationError
+
+
+def triangle():
+    return np.array([[0, 1, 1], [1, 0, 1], [1, 1, 0]], dtype=float)
+
+
+class TestConstruction:
+    def test_basic(self):
+        mvag = MVAG(graph_views=[triangle()], attribute_views=[np.ones((3, 2))])
+        assert mvag.n_nodes == 3
+        assert mvag.n_graph_views == 1
+        assert mvag.n_attribute_views == 1
+        assert mvag.n_views == 2
+
+    def test_needs_a_view(self):
+        with pytest.raises(ValidationError):
+            MVAG()
+
+    def test_node_count_consistency(self):
+        with pytest.raises(ShapeError):
+            MVAG(graph_views=[triangle()], attribute_views=[np.ones((4, 2))])
+
+    def test_graph_views_must_be_square(self):
+        with pytest.raises(ShapeError):
+            MVAG(graph_views=[np.ones((2, 3))])
+
+    def test_negative_weights_rejected(self):
+        bad = triangle()
+        bad[0, 1] = bad[1, 0] = -1.0
+        with pytest.raises(ValidationError):
+            MVAG(graph_views=[bad])
+
+    def test_nan_attributes_rejected(self):
+        features = np.ones((3, 2))
+        features[0, 0] = np.nan
+        with pytest.raises(ValidationError):
+            MVAG(graph_views=[triangle()], attribute_views=[features])
+
+    def test_attribute_only_mvag(self):
+        mvag = MVAG(attribute_views=[np.ones((5, 2)), np.zeros((5, 3))])
+        assert mvag.n_nodes == 5
+        assert mvag.n_graph_views == 0
+
+
+class TestCanonicalization:
+    def test_self_loops_removed(self):
+        adjacency = triangle()
+        np.fill_diagonal(adjacency, 5.0)
+        mvag = MVAG(graph_views=[adjacency])
+        assert mvag.graph_views[0].diagonal().sum() == 0.0
+
+    def test_asymmetric_input_symmetrized(self):
+        directed = np.array([[0, 1.0, 0], [0, 0, 1.0], [0, 0, 0]])
+        mvag = MVAG(graph_views=[directed])
+        stored = mvag.graph_views[0]
+        assert (abs(stored - stored.T)).nnz == 0
+
+    def test_sparse_attribute_kept_sparse(self):
+        features = sp.random(6, 10, density=0.3, format="csr")
+        mvag = MVAG(graph_views=[np.zeros((6, 6))], attribute_views=[features])
+        assert sp.issparse(mvag.attribute_views[0])
+
+
+class TestLabels:
+    def test_labels_validated(self):
+        mvag = MVAG(graph_views=[triangle()], labels=[0, 1, 0])
+        assert mvag.n_classes == 2
+
+    def test_wrong_label_length(self):
+        with pytest.raises(ShapeError):
+            MVAG(graph_views=[triangle()], labels=[0, 1])
+
+    def test_unlabeled(self):
+        mvag = MVAG(graph_views=[triangle()])
+        assert mvag.labels is None
+        assert mvag.n_classes is None
+
+
+class TestStats:
+    def test_total_edges(self):
+        mvag = MVAG(graph_views=[triangle(), triangle()])
+        assert mvag.total_edges == 6
+
+    def test_view_stats_order(self):
+        mvag = MVAG(
+            graph_views=[triangle()], attribute_views=[np.ones((3, 4))]
+        )
+        stats = mvag.view_stats()
+        assert stats[0] == ViewStats(kind="graph", index=0, edges=3)
+        assert stats[1] == ViewStats(kind="attribute", index=0, dim=4)
+
+    def test_summary_dict(self):
+        mvag = MVAG(
+            graph_views=[triangle()],
+            attribute_views=[np.ones((3, 4))],
+            labels=[0, 0, 1],
+            name="toy",
+        )
+        summary = mvag.summary()
+        assert summary["name"] == "toy"
+        assert summary["n"] == 3
+        assert summary["r"] == 2
+        assert summary["graph_edges"] == [3]
+        assert summary["attribute_dims"] == [4]
+        assert summary["k"] == 2
+
+    def test_views_are_copied_lists(self):
+        mvag = MVAG(graph_views=[triangle()])
+        views = mvag.graph_views
+        views.clear()
+        assert mvag.n_graph_views == 1

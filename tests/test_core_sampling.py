@@ -1,0 +1,79 @@
+"""Tests for the SGLA+ weight-vector sampling scheme."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import adjusted_samples, interpolation_samples
+from repro.utils.errors import ValidationError
+
+
+class TestPaperScheme:
+    def test_count_is_r_plus_one(self):
+        assert len(interpolation_samples(4)) == 5
+
+    def test_first_sample_uniform(self):
+        samples = interpolation_samples(5)
+        np.testing.assert_allclose(samples[0], np.full(5, 0.2))
+
+    def test_midpoint_values_match_paper(self):
+        """w_l has value (r+1)/(2r) at position l-1 and 1/(2r) elsewhere."""
+        r = 4
+        samples = interpolation_samples(r)
+        for view in range(r):
+            sample = samples[view + 1]
+            assert sample[view] == pytest.approx((r + 1) / (2 * r))
+            others = np.delete(sample, view)
+            np.testing.assert_allclose(others, 1 / (2 * r))
+
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=12, deadline=None)
+    def test_all_samples_on_simplex(self, r):
+        for sample in interpolation_samples(r):
+            assert np.all(sample >= 0)
+            assert sample.sum() == pytest.approx(1.0)
+
+    def test_r_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            interpolation_samples(0)
+
+    def test_yelp_example(self):
+        """The paper's Example 4 (r=3) sample values."""
+        samples = interpolation_samples(3)
+        np.testing.assert_allclose(samples[0], [1 / 3] * 3)
+        np.testing.assert_allclose(samples[1], [2 / 3, 1 / 6, 1 / 6])
+        np.testing.assert_allclose(samples[2], [1 / 6, 2 / 3, 1 / 6])
+        np.testing.assert_allclose(samples[3], [1 / 6, 1 / 6, 2 / 3])
+
+
+class TestAdjustedSamples:
+    def test_zero_delta_is_paper_scheme(self):
+        base = interpolation_samples(3)
+        adjusted = adjusted_samples(3, delta_s=0)
+        assert len(adjusted) == len(base)
+        for a, b in zip(adjusted, base):
+            np.testing.assert_allclose(a, b)
+
+    def test_positive_delta_adds(self):
+        samples = adjusted_samples(3, delta_s=5, rng=0)
+        assert len(samples) == 9
+        for sample in samples:
+            assert sample.sum() == pytest.approx(1.0)
+            assert np.all(sample >= 0)
+
+    def test_negative_delta_removes_but_keeps_uniform(self):
+        samples = adjusted_samples(4, delta_s=-2, rng=0)
+        assert len(samples) == 3
+        np.testing.assert_allclose(samples[0], np.full(4, 0.25))
+
+    def test_negative_delta_floor(self):
+        """At most all non-uniform samples minus one can be dropped."""
+        samples = adjusted_samples(3, delta_s=-100, rng=0)
+        assert len(samples) >= 2
+
+    def test_deterministic_given_seed(self):
+        a = adjusted_samples(3, delta_s=4, rng=9)
+        b = adjusted_samples(3, delta_s=4, rng=9)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)

@@ -1,0 +1,121 @@
+"""Tests for the SGLA solver (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.laplacian import build_view_laplacians
+from repro.core.sgla import SGLA, SGLAConfig
+from repro.utils.errors import ValidationError
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = SGLAConfig()
+        assert config.gamma == 0.5
+        assert config.eps == 1e-3
+        assert config.t_max == 50
+        assert config.alpha_r == 0.05
+        assert config.knn_k == 10
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValidationError):
+            SGLAConfig(eps=0.0)
+
+    def test_invalid_t_max(self):
+        with pytest.raises(ValidationError):
+            SGLAConfig(t_max=0)
+
+    def test_config_xor_overrides(self):
+        with pytest.raises(ValidationError):
+            SGLA(SGLAConfig(), gamma=0.1)
+
+    def test_overrides(self):
+        solver = SGLA(gamma=0.2, t_max=10)
+        assert solver.config.gamma == 0.2
+        assert solver.config.t_max == 10
+
+
+class TestFit:
+    def test_returns_simplex_weights(self, easy_mvag):
+        result = SGLA(t_max=20).fit(easy_mvag)
+        assert result.weights.shape == (easy_mvag.n_views,)
+        assert np.all(result.weights >= 0)
+        assert result.weights.sum() == pytest.approx(1.0)
+
+    def test_laplacian_shape_and_symmetry(self, easy_mvag):
+        result = SGLA(t_max=15).fit(easy_mvag)
+        n = easy_mvag.n_nodes
+        assert result.laplacian.shape == (n, n)
+        difference = result.laplacian - result.laplacian.T
+        assert abs(difference).max() < 1e-10
+
+    def test_downweights_noise_view(self, easy_mvag):
+        """View 2 is near-random (strength 0.15): it must not get the
+        largest weight."""
+        result = SGLA(t_max=40).fit(easy_mvag)
+        assert result.weights[1] < max(result.weights[0], result.weights[2])
+
+    def test_beats_uniform_objective(self, easy_laplacians):
+        from repro.core.objective import SpectralObjective
+
+        solver = SGLA(t_max=40)
+        result = solver.fit(easy_laplacians, k=3)
+        objective = SpectralObjective(easy_laplacians, k=3, gamma=0.5)
+        uniform = np.full(3, 1 / 3)
+        assert result.objective_value <= objective(uniform) + 1e-9
+
+    def test_deterministic(self, easy_mvag):
+        first = SGLA(t_max=15, seed=5).fit(easy_mvag)
+        second = SGLA(t_max=15, seed=5).fit(easy_mvag)
+        np.testing.assert_allclose(first.weights, second.weights)
+
+    def test_history_recorded(self, easy_mvag):
+        result = SGLA(t_max=15).fit(easy_mvag)
+        assert len(result.history) >= 1
+        for weights, value in result.history:
+            assert weights.shape == (easy_mvag.n_views,)
+            assert np.isfinite(value)
+
+    def test_history_contains_final_value(self, easy_mvag):
+        result = SGLA(t_max=25).fit(easy_mvag)
+        values = [value for _, value in result.history]
+        assert min(values) == pytest.approx(result.objective_value)
+
+    def test_evaluation_budget(self, easy_mvag):
+        result = SGLA(t_max=10).fit(easy_mvag)
+        assert result.n_objective_evaluations <= 10
+
+    def test_raw_laplacians_need_k(self, easy_laplacians):
+        with pytest.raises(ValidationError):
+            SGLA().fit(easy_laplacians)
+
+    def test_unlabeled_mvag_needs_k(self, easy_mvag):
+        from repro.core.mvag import MVAG
+
+        unlabeled = MVAG(
+            graph_views=easy_mvag.graph_views,
+            attribute_views=easy_mvag.attribute_views,
+        )
+        with pytest.raises(ValidationError):
+            SGLA().fit(unlabeled)
+
+    def test_explicit_k_overrides_labels(self, easy_mvag):
+        result = SGLA(t_max=5).fit(easy_mvag, k=2)
+        assert result.weights.shape == (easy_mvag.n_views,)
+
+    def test_elapsed_recorded(self, easy_mvag):
+        result = SGLA(t_max=5).fit(easy_mvag)
+        assert result.elapsed_seconds > 0
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["trust-linear", "nelder-mead",
+                                         "scipy-cobyla"])
+    def test_all_backends_run(self, easy_mvag, backend):
+        result = SGLA(t_max=25, optimizer_backend=backend).fit(easy_mvag)
+        assert np.isfinite(result.objective_value)
+
+    def test_backends_reach_similar_optima(self, easy_mvag):
+        ours = SGLA(t_max=50, optimizer_backend="trust-linear").fit(easy_mvag)
+        scipys = SGLA(t_max=50, optimizer_backend="scipy-cobyla").fit(easy_mvag)
+        assert abs(ours.objective_value - scipys.objective_value) < 0.08

@@ -1,0 +1,82 @@
+"""Tests for the SGLA+ solver (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mvag import MVAG
+from repro.core.sgla import SGLA
+from repro.core.sgla_plus import SGLAPlus
+from repro.utils.errors import ValidationError
+
+
+class TestFit:
+    def test_evaluation_budget_is_order_r(self, easy_mvag):
+        """The headline efficiency claim: r+1 expensive evaluations for the
+        surrogate fit plus at most two safeguard candidates."""
+        result = SGLAPlus().fit(easy_mvag)
+        r = easy_mvag.n_views
+        assert result.n_objective_evaluations <= r + 7
+
+    def test_fewer_evaluations_than_sgla(self, easy_mvag):
+        plus = SGLAPlus().fit(easy_mvag)
+        base = SGLA(t_max=50).fit(easy_mvag)
+        assert plus.n_objective_evaluations < base.n_objective_evaluations
+
+    def test_objective_close_to_sgla(self, easy_mvag):
+        """w-dagger approximates w*: the objective gap must be small."""
+        plus = SGLAPlus().fit(easy_mvag)
+        base = SGLA(t_max=50).fit(easy_mvag)
+        assert plus.objective_value <= base.objective_value + 0.1
+
+    def test_weights_on_simplex(self, easy_mvag):
+        result = SGLAPlus().fit(easy_mvag)
+        assert np.all(result.weights >= -1e-12)
+        assert result.weights.sum() == pytest.approx(1.0)
+
+    def test_downweights_noise_view(self, easy_mvag):
+        result = SGLAPlus().fit(easy_mvag)
+        assert result.weights[1] < max(result.weights[0], result.weights[2])
+
+    def test_deterministic(self, easy_mvag):
+        a = SGLAPlus(seed=3).fit(easy_mvag)
+        b = SGLAPlus(seed=3).fit(easy_mvag)
+        np.testing.assert_allclose(a.weights, b.weights)
+
+    def test_history_has_samples_plus_candidates(self, easy_mvag):
+        result = SGLAPlus().fit(easy_mvag)
+        r = easy_mvag.n_views
+        assert r + 2 <= len(result.history) <= r + 7
+
+    def test_delta_samples_positive(self, easy_mvag):
+        result = SGLAPlus().fit(easy_mvag, delta_samples=3)
+        assert result.n_objective_evaluations <= easy_mvag.n_views + 1 + 3 + 2
+
+    def test_delta_samples_negative(self, easy_mvag):
+        result = SGLAPlus().fit(easy_mvag, delta_samples=-1)
+        assert np.isfinite(result.objective_value)
+
+    def test_single_view(self):
+        rng = np.random.default_rng(0)
+        mvag = MVAG(
+            graph_views=[(rng.random((20, 20)) < 0.3).astype(float)],
+            labels=rng.integers(0, 2, 20),
+        )
+        result = SGLAPlus().fit(mvag)
+        np.testing.assert_allclose(result.weights, [1.0])
+
+    def test_two_views(self, running_example):
+        result = SGLAPlus().fit(running_example)
+        assert result.weights.shape == (2,)
+        assert result.weights.sum() == pytest.approx(1.0)
+
+    def test_config_xor_overrides(self):
+        from repro.core.sgla import SGLAConfig
+
+        with pytest.raises(ValidationError):
+            SGLAPlus(SGLAConfig(), gamma=0.1)
+
+    def test_faster_than_sgla(self, hetero_mvag):
+        plus = SGLAPlus().fit(hetero_mvag)
+        base = SGLA(t_max=50).fit(hetero_mvag)
+        # Wall-clock comparisons are noisy; require only a clear advantage.
+        assert plus.elapsed_seconds < base.elapsed_seconds * 1.5

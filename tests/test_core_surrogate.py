@@ -1,0 +1,145 @@
+"""Tests for the quadratic interpolation surrogate (Eq. 7-9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import adjusted_samples, interpolation_samples
+from repro.core.surrogate import QuadraticSurrogate, fit_surrogate
+from repro.utils.errors import ShapeError, ValidationError
+
+
+def quadratic_truth(r, seed=0):
+    """A random ground-truth quadratic over the reduced weights."""
+    rng = np.random.default_rng(seed)
+    dim = r - 1
+    hessian = rng.standard_normal((dim, dim))
+    hessian = hessian @ hessian.T  # PSD
+    linear = rng.standard_normal(dim)
+    constant = float(rng.standard_normal())
+
+    def func(weights):
+        reduced = np.asarray(weights)[:-1]
+        return float(reduced @ hessian @ reduced + linear @ reduced + constant)
+
+    return func
+
+
+class TestExactRecovery:
+    @pytest.mark.parametrize("r", [2, 3, 4])
+    def test_interpolates_samples_exactly(self, r):
+        truth = quadratic_truth(r, seed=r)
+        samples = interpolation_samples(r)
+        values = [truth(s) for s in samples]
+        surrogate = fit_surrogate(samples, values)
+        for sample, value in zip(samples, values):
+            assert surrogate(sample) == pytest.approx(value, abs=1e-6)
+
+    def test_recovers_exact_quadratic_with_enough_samples(self):
+        """With >= #coefficients generic samples, ridge mode recovers the
+        quadratic everywhere (not just at samples)."""
+        r = 3
+        truth = quadratic_truth(r, seed=42)
+        rng = np.random.default_rng(0)
+        samples = [rng.dirichlet(np.ones(r)) for _ in range(30)]
+        values = [truth(s) for s in samples]
+        surrogate = fit_surrogate(samples, values, alpha=1e-10, mode="ridge")
+        for _ in range(20):
+            probe = rng.dirichlet(np.ones(r))
+            assert surrogate(probe) == pytest.approx(truth(probe), abs=1e-4)
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_interpolation_property(self, r, seed):
+        rng = np.random.default_rng(seed)
+        samples = interpolation_samples(r)
+        values = rng.standard_normal(len(samples))
+        surrogate = fit_surrogate(samples, values)
+        recovered = np.array([surrogate(s) for s in samples])
+        np.testing.assert_allclose(recovered, values, atol=1e-5)
+
+
+class TestThetaMatrix:
+    def test_upper_triangular_layout(self):
+        samples = interpolation_samples(3)
+        values = [1.0, 2.0, 3.0, 4.0]
+        surrogate = fit_surrogate(samples, values)
+        theta = surrogate.theta_matrix()
+        assert theta.shape == (3, 3)
+        assert np.allclose(theta, np.triu(theta))
+
+    def test_matrix_form_matches_eval(self):
+        """Eq. (8): [u, 1] Theta [u, 1]^T with symmetrized cross terms
+        equals the flat evaluation."""
+        samples = interpolation_samples(3)
+        values = [0.5, 1.5, -0.5, 2.0]
+        surrogate = fit_surrogate(samples, values)
+        theta = surrogate.theta_matrix()
+        for sample in samples:
+            extended = np.concatenate([sample[:-1], [1.0]])
+            assert extended @ theta @ extended == pytest.approx(
+                surrogate(sample), abs=1e-8
+            )
+
+
+class TestGradient:
+    def test_matches_finite_differences(self):
+        samples = interpolation_samples(4)
+        rng = np.random.default_rng(3)
+        values = rng.standard_normal(len(samples))
+        surrogate = fit_surrogate(samples, values)
+        point = np.array([0.3, 0.3, 0.2, 0.2])
+        analytic = surrogate.gradient(point)
+        step = 1e-6
+        for i in range(3):
+            bumped = point.copy()
+            bumped[i] += step
+            numeric = (surrogate(bumped) - surrogate(point)) / step
+            assert analytic[i] == pytest.approx(numeric, abs=1e-4)
+
+
+class TestValidation:
+    def test_empty_samples(self):
+        with pytest.raises(ValidationError):
+            fit_surrogate([], [])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ShapeError):
+            fit_surrogate(interpolation_samples(3), [1.0, 2.0])
+
+    def test_single_view_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_surrogate([np.array([1.0])], [1.0])
+
+    def test_negative_alpha(self):
+        with pytest.raises(ValidationError):
+            fit_surrogate(interpolation_samples(2), [1.0, 2.0, 3.0], alpha=-1)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValidationError):
+            fit_surrogate(interpolation_samples(2), [1, 2, 3], mode="banana")
+
+    def test_wrong_eval_length(self):
+        surrogate = fit_surrogate(interpolation_samples(3), [1, 2, 3, 4])
+        with pytest.raises(ShapeError):
+            surrogate(np.array([0.5, 0.5]))
+
+
+class TestModes:
+    def test_auto_picks_interpolate_for_default_samples(self):
+        surrogate = fit_surrogate(interpolation_samples(3), [1, 2, 3, 4])
+        assert surrogate.mode == "interpolate"
+
+    def test_auto_picks_ridge_when_overdetermined(self):
+        rng = np.random.default_rng(1)
+        samples = adjusted_samples(3, delta_s=10, rng=1)
+        values = rng.standard_normal(len(samples))
+        surrogate = fit_surrogate(samples, values)
+        assert surrogate.mode == "ridge"
+
+    def test_duplicate_samples_handled(self):
+        samples = interpolation_samples(3) + [interpolation_samples(3)[0]]
+        values = [1.0, 2.0, 3.0, 4.0, 1.0]
+        surrogate = fit_surrogate(samples, values, mode="interpolate")
+        assert np.all(np.isfinite(surrogate.coefficients))

@@ -1,0 +1,123 @@
+"""Tests for the surrogate convexification and SGLA+ candidate safeguards."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import interpolation_samples
+from repro.core.sgla_plus import _LINE_SEARCH_STEPS, _gradient_candidates
+from repro.core.surrogate import fit_surrogate
+
+
+class TestConvexified:
+    @given(st.integers(min_value=2, max_value=6), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_hessian_is_psd(self, r, seed):
+        rng = np.random.default_rng(seed)
+        samples = interpolation_samples(r)
+        values = rng.standard_normal(len(samples))
+        convex = fit_surrogate(samples, values).convexified()
+        eigenvalues = np.linalg.eigvalsh(convex.hessian())
+        assert eigenvalues.min() >= -1e-10
+
+    @given(st.integers(min_value=2, max_value=5), st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_value_preserved_at_uniform(self, r, seed):
+        rng = np.random.default_rng(seed)
+        samples = interpolation_samples(r)
+        values = rng.standard_normal(len(samples))
+        surrogate = fit_surrogate(samples, values)
+        convex = surrogate.convexified()
+        uniform = np.full(r, 1.0 / r)
+        assert convex(uniform) == pytest.approx(surrogate(uniform), abs=1e-8)
+
+    def test_already_convex_unchanged(self):
+        """A convex quadratic's convexification is (numerically) itself."""
+        rng = np.random.default_rng(3)
+        r = 4
+        dim = r - 1
+        hessian_root = rng.standard_normal((dim, dim))
+
+        def truth(weights):
+            u = np.asarray(weights)[:-1]
+            return float(u @ (hessian_root @ hessian_root.T) @ u + u.sum())
+
+        samples = [rng.dirichlet(np.ones(r)) for _ in range(40)]
+        values = [truth(s) for s in samples]
+        surrogate = fit_surrogate(samples, values, alpha=1e-10, mode="ridge")
+        convex = surrogate.convexified()
+        for probe in samples[:10]:
+            assert convex(probe) == pytest.approx(surrogate(probe), abs=1e-5)
+
+    def test_hessian_layout_matches_gradient(self):
+        """d(gradient)/du must equal the Hessian (finite differences)."""
+        samples = interpolation_samples(4)
+        values = [1.0, 0.2, -0.5, 0.8, 1.4]
+        surrogate = fit_surrogate(samples, values)
+        hessian = surrogate.hessian()
+        point = np.array([0.3, 0.3, 0.2, 0.2])
+        step = 1e-6
+        for i in range(3):
+            bumped = point.copy()
+            bumped[i] += step
+            numeric = (surrogate.gradient(bumped) - surrogate.gradient(point)) / step
+            np.testing.assert_allclose(hessian[:, i], numeric, atol=1e-4)
+
+
+class TestGradientCandidates:
+    def test_candidates_on_simplex(self):
+        r = 5
+        samples = interpolation_samples(r)
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal(len(samples)).tolist()
+        candidates = _gradient_candidates(samples, values, r)
+        assert len(candidates) == len(_LINE_SEARCH_STEPS)
+        for candidate in candidates:
+            assert np.all(candidate >= -1e-12)
+            assert candidate.sum() == pytest.approx(1.0)
+
+    def test_direction_favors_good_views(self):
+        """Views whose midpoint lowered h must gain weight."""
+        r = 4
+        samples = interpolation_samples(r)
+        # View 0's midpoint improved the objective; view 3's hurt it.
+        values = [1.0, 0.5, 1.0, 1.0, 1.5]
+        candidates = _gradient_candidates(samples, values, r)
+        first_step = candidates[0]
+        assert first_step[0] > 1.0 / r
+        assert first_step[3] < 1.0 / r
+
+    def test_flat_scores_give_no_candidates(self):
+        r = 3
+        samples = interpolation_samples(r)
+        values = [1.0] * (r + 1)
+        assert _gradient_candidates(samples, values, r) == []
+
+
+class TestAdaptiveNetmfRescale:
+    def test_subunit_matrix_rescaled(self):
+        """A DeepWalk matrix entirely below 1 must not embed to zeros."""
+        from repro.embedding.netmf import _embed_log_matrix
+
+        rng = np.random.default_rng(1)
+        low_rank = rng.random((40, 4)) * 0.3
+        matrix = low_rank @ low_rank.T  # all entries << 1
+        embedding = _embed_log_matrix(matrix.copy(), dim=4, seed=0)
+        assert np.abs(embedding).max() > 1e-6
+
+    def test_healthy_matrix_untouched(self):
+        """A matrix with plenty of mass above 1 keeps classic behaviour."""
+        from repro.embedding.netmf import _embed_log_matrix
+
+        rng = np.random.default_rng(2)
+        matrix = rng.random((30, 30)) * 10.0
+        matrix = (matrix + matrix.T) / 2
+        reference = np.log(np.maximum(matrix, 1.0))
+        embedding = _embed_log_matrix(matrix.copy(), dim=4, seed=0)
+        u, s, vt = np.linalg.svd(reference)
+        expected = u[:, :4] * np.sqrt(s[:4])[None, :]
+        # Compare captured spectral energy rather than signs/rotations.
+        assert np.linalg.norm(embedding) == pytest.approx(
+            np.linalg.norm(expected), rel=0.05
+        )

@@ -1,0 +1,155 @@
+"""Tests for the synthetic MVAG generator."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.generator import (
+    AttributeViewSpec,
+    GraphViewSpec,
+    generate_mvag,
+    planted_partition_graph,
+)
+from repro.utils.errors import ValidationError
+from repro.utils.sparse import edge_count, is_symmetric
+
+
+class TestSpecs:
+    def test_graph_spec_validation(self):
+        with pytest.raises(ValidationError):
+            GraphViewSpec(strength=1.5)
+        with pytest.raises(ValidationError):
+            GraphViewSpec(strength=0.5, avg_degree=0)
+
+    def test_attribute_spec_validation(self):
+        with pytest.raises(ValidationError):
+            AttributeViewSpec(dim=0)
+        with pytest.raises(ValidationError):
+            AttributeViewSpec(dim=4, signal=2.0)
+        with pytest.raises(ValidationError):
+            AttributeViewSpec(dim=4, kind="visual")
+
+
+class TestPlantedPartition:
+    def test_structure(self):
+        labels = np.repeat(np.arange(3), 30)
+        adjacency = planted_partition_graph(labels, 0.8, 10.0, rng=0)
+        assert is_symmetric(adjacency)
+        assert adjacency.diagonal().sum() == 0.0
+
+    def test_edge_budget_approximate(self):
+        labels = np.repeat(np.arange(2), 100)
+        adjacency = planted_partition_graph(labels, 0.5, 12.0, rng=1)
+        expected = 200 * 12 / 2
+        assert abs(edge_count(adjacency) - expected) / expected < 0.15
+
+    def test_strength_one_fully_assortative(self):
+        labels = np.repeat(np.arange(2), 40)
+        adjacency = planted_partition_graph(labels, 1.0, 8.0, rng=2)
+        rows, cols = adjacency.nonzero()
+        assert np.all(labels[rows] == labels[cols])
+
+    def test_strength_controls_assortativity(self):
+        labels = np.repeat(np.arange(2), 60)
+
+        def intra_fraction(strength, seed):
+            adjacency = planted_partition_graph(labels, strength, 10.0, rng=seed)
+            rows, cols = adjacency.nonzero()
+            return float(np.mean(labels[rows] == labels[cols]))
+
+        assert intra_fraction(0.9, 3) > intra_fraction(0.1, 3) + 0.3
+
+    def test_strength_zero_near_random(self):
+        labels = np.repeat(np.arange(2), 100)
+        adjacency = planted_partition_graph(labels, 0.0, 12.0, rng=4)
+        rows, cols = adjacency.nonzero()
+        intra = float(np.mean(labels[rows] == labels[cols]))
+        assert abs(intra - 0.5) < 0.1
+
+
+class TestGenerateMvag:
+    def test_shapes(self):
+        mvag = generate_mvag(
+            n_nodes=80,
+            n_clusters=4,
+            graph_view_strengths=[0.7, 0.3],
+            attribute_view_dims=[10, 20],
+            seed=0,
+        )
+        assert mvag.n_nodes == 80
+        assert mvag.n_graph_views == 2
+        assert mvag.n_attribute_views == 2
+        assert mvag.n_classes == 4
+        assert mvag.attribute_views[0].shape == (80, 10)
+
+    def test_binary_attributes_sparse(self):
+        mvag = generate_mvag(
+            n_nodes=50,
+            n_clusters=2,
+            graph_view_strengths=[0.5],
+            attribute_view_dims=[
+                AttributeViewSpec(dim=30, signal=0.5, kind="binary")
+            ],
+            seed=1,
+        )
+        assert sp.issparse(mvag.attribute_views[0])
+        data = mvag.attribute_views[0].data
+        assert set(np.unique(data)) <= {1.0}
+
+    def test_deterministic(self):
+        a = generate_mvag(60, 3, seed=9)
+        b = generate_mvag(60, 3, seed=9)
+        assert (a.graph_views[0] != b.graph_views[0]).nnz == 0
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = generate_mvag(60, 3, seed=1)
+        b = generate_mvag(60, 3, seed=2)
+        assert (a.graph_views[0] != b.graph_views[0]).nnz > 0
+
+    def test_all_clusters_populated(self):
+        mvag = generate_mvag(40, 5, seed=3)
+        counts = np.bincount(mvag.labels)
+        assert counts.min() >= 2
+
+    def test_too_few_nodes(self):
+        with pytest.raises(ValidationError):
+            generate_mvag(5, 3)
+
+    def test_no_views_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_mvag(
+                20, 2, graph_view_strengths=[], attribute_view_dims=[]
+            )
+
+    def test_signal_controls_separability(self):
+        """Stronger attribute signal must yield larger class separation."""
+        from repro.analysis.separation import class_separation
+
+        weak = generate_mvag(
+            100, 2, graph_view_strengths=[0.5],
+            attribute_view_dims=[8], attribute_view_signals=[0.05], seed=4,
+        )
+        strong = generate_mvag(
+            100, 2, graph_view_strengths=[0.5],
+            attribute_view_dims=[8], attribute_view_signals=[0.95], seed=4,
+        )
+        weak_sep = class_separation(weak.attribute_views[0], weak.labels)
+        strong_sep = class_separation(strong.attribute_views[0], strong.labels)
+        assert strong_sep > weak_sep * 2
+
+    @given(
+        st.integers(min_value=20, max_value=80),
+        st.integers(min_value=2, max_value=4),
+        st.integers(0, 100_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_invariants(self, n, k, seed):
+        mvag = generate_mvag(n, k, seed=seed)
+        assert mvag.n_nodes == n
+        assert mvag.n_classes == k
+        for adjacency in mvag.graph_views:
+            assert is_symmetric(adjacency)
+            assert adjacency.diagonal().sum() == 0

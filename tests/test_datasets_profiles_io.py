@@ -1,0 +1,164 @@
+"""Tests for dataset profiles, the running example, and npz persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import load_mvag, save_mvag
+from repro.datasets.profiles import (
+    PROFILES,
+    dataset_profile,
+    list_profiles,
+    load_profile_mvag,
+)
+from repro.datasets.running_example import running_example_mvag
+from repro.utils.errors import ValidationError
+
+PAPER_DATASETS = [
+    "rm", "yelp", "imdb", "dblp",
+    "amazon_photos", "amazon_computers", "mag_eng", "mag_phy",
+]
+
+
+class TestProfiles:
+    def test_all_paper_datasets_present(self):
+        names = list_profiles(include_small=False)
+        assert names == PAPER_DATASETS
+
+    def test_small_variants_exist(self):
+        for name in PAPER_DATASETS:
+            assert f"{name}_small" in PROFILES
+
+    def test_table2_shapes(self):
+        """View structure must match Table II (r, p, q, k per dataset)."""
+        expectations = {
+            # name: (r, n_graph_views, n_attribute_views)
+            "rm": (11, 10, 1),
+            "yelp": (3, 2, 1),
+            "imdb": (3, 2, 1),
+            "dblp": (4, 3, 1),
+            "amazon_photos": (3, 1, 2),
+            "amazon_computers": (3, 1, 2),
+            "mag_eng": (4, 2, 2),
+            "mag_phy": (4, 2, 2),
+        }
+        for name, (r, p, q) in expectations.items():
+            profile = dataset_profile(name)
+            assert profile.r == r, name
+            assert len(profile.graph_views) == p, name
+            assert len(profile.attribute_views) == q, name
+
+    def test_paper_n_recorded(self):
+        assert dataset_profile("mag_phy").paper_n == 2353996
+        assert dataset_profile("rm").paper_n == 91
+
+    def test_rm_not_scaled(self):
+        assert dataset_profile("rm").n == 91
+
+    def test_mag_scaled_down(self):
+        assert dataset_profile("mag_eng").n < dataset_profile("mag_eng").paper_n
+
+    def test_mag_train_fraction_one_percent(self):
+        assert dataset_profile("mag_eng").train_fraction == 0.01
+        assert dataset_profile("mag_phy").train_fraction == 0.01
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValidationError):
+            dataset_profile("imagenet")
+
+    def test_load_small_profile(self):
+        mvag = load_profile_mvag("yelp_small", seed=0)
+        profile = dataset_profile("yelp_small")
+        assert mvag.n_nodes == profile.n
+        assert mvag.n_views == profile.r
+        assert mvag.n_classes == profile.k
+
+    def test_load_deterministic(self):
+        a = load_profile_mvag("rm", seed=1)
+        b = load_profile_mvag("rm", seed=1)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+class TestRunningExample:
+    def test_structure(self):
+        mvag = running_example_mvag()
+        assert mvag.n_nodes == 8
+        assert mvag.n_views == 2
+        assert mvag.n_classes == 2
+
+    def test_c2_clique_in_both_views(self):
+        mvag = running_example_mvag()
+        for adjacency in mvag.graph_views:
+            block = adjacency[4:, 4:].toarray()
+            assert block.sum() == 12  # complete K4 (6 edges, symmetric)
+
+    def test_c1_split_across_views(self):
+        """Neither view alone contains all of C1's internal edges."""
+        mvag = running_example_mvag()
+        internal_edges = [
+            adjacency[:4, :4].nnz // 2 for adjacency in mvag.graph_views
+        ]
+        union = (
+            (mvag.graph_views[0] + mvag.graph_views[1])[:4, :4].nnz // 2
+        )
+        assert all(count < union for count in internal_edges)
+
+    def test_interior_weights_optimal(self):
+        """The Fig. 2 narrative: the objective is minimized strictly inside
+        the weight simplex, not at either single-view extreme."""
+        from repro.core.laplacian import build_view_laplacians
+        from repro.core.objective import SpectralObjective
+
+        mvag = running_example_mvag()
+        laplacians = build_view_laplacians(mvag)
+        objective = SpectralObjective(laplacians, k=2, gamma=0.0)
+        values = {
+            w1: objective([w1, 1.0 - w1])
+            for w1 in [0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0]
+        }
+        interior_best = min(values[w] for w in (0.2, 0.4, 0.5, 0.6, 0.8))
+        assert interior_best < values[0.0]
+        assert interior_best < values[1.0]
+
+
+class TestIO:
+    def test_round_trip(self, tmp_path, easy_mvag):
+        path = tmp_path / "mvag.npz"
+        save_mvag(easy_mvag, path)
+        loaded = load_mvag(path)
+        assert loaded.n_nodes == easy_mvag.n_nodes
+        assert loaded.n_views == easy_mvag.n_views
+        assert loaded.name == easy_mvag.name
+        np.testing.assert_array_equal(loaded.labels, easy_mvag.labels)
+        for a, b in zip(loaded.graph_views, easy_mvag.graph_views):
+            assert (a != b).nnz == 0
+
+    def test_sparse_attributes_round_trip(self, tmp_path):
+        from repro.datasets.generator import AttributeViewSpec, generate_mvag
+
+        mvag = generate_mvag(
+            40, 2,
+            graph_view_strengths=[0.5],
+            attribute_view_dims=[AttributeViewSpec(dim=16, kind="binary")],
+            seed=0,
+        )
+        path = tmp_path / "sparse.npz"
+        save_mvag(mvag, path)
+        loaded = load_mvag(path)
+        import scipy.sparse as sp
+
+        assert sp.issparse(loaded.attribute_views[0])
+        assert (
+            loaded.attribute_views[0] != mvag.attribute_views[0]
+        ).nnz == 0
+
+    def test_unlabeled_round_trip(self, tmp_path):
+        from repro.core.mvag import MVAG
+
+        mvag = MVAG(graph_views=[np.eye(5)[::-1]])
+        path = tmp_path / "unlabeled.npz"
+        save_mvag(mvag, path)
+        assert load_mvag(path).labels is None
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_mvag(tmp_path / "nope.npz")

@@ -1,0 +1,220 @@
+"""Tests for the dynamic-MVAG extension (stream, incremental, lazy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.laplacian import build_view_laplacians
+from repro.core.objective import SpectralObjective
+from repro.datasets.generator import generate_mvag
+from repro.dynamic.incremental import WarmStartObjective
+from repro.dynamic.lazy import LazySGLA
+from repro.dynamic.stream import DynamicMVAG, EdgeUpdate
+from repro.utils.errors import NotFittedError, ValidationError
+
+
+@pytest.fixture()
+def small_dynamic():
+    mvag = generate_mvag(
+        n_nodes=80,
+        n_clusters=2,
+        graph_view_strengths=[0.85, 0.3],
+        attribute_view_dims=[12],
+        seed=5,
+    )
+    return DynamicMVAG(mvag, knn_k=5), mvag
+
+
+class TestEdgeUpdate:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            EdgeUpdate(view=0, u=1, v=1)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            EdgeUpdate(view=0, u=0, v=1, weight=-1.0)
+
+
+class TestDynamicMVAG:
+    def test_snapshot_round_trip(self, small_dynamic):
+        dynamic, mvag = small_dynamic
+        snapshot = dynamic.snapshot()
+        assert snapshot.n_nodes == mvag.n_nodes
+        assert snapshot.n_views == mvag.n_views
+        for a, b in zip(snapshot.graph_views, mvag.graph_views):
+            assert (a != b).nnz == 0
+
+    def test_original_not_mutated(self, small_dynamic):
+        dynamic, mvag = small_dynamic
+        before = mvag.graph_views[0].copy()
+        dynamic.apply_edge_update(EdgeUpdate(view=0, u=0, v=1, weight=5.0))
+        assert (mvag.graph_views[0] != before).nnz == 0
+
+    def test_edge_insert_visible_in_snapshot(self, small_dynamic):
+        dynamic, _ = small_dynamic
+        dynamic.apply_edge_update(EdgeUpdate(view=0, u=0, v=1, weight=3.0))
+        snapshot = dynamic.snapshot()
+        assert snapshot.graph_views[0][0, 1] == 3.0
+        assert snapshot.graph_views[0][1, 0] == 3.0
+
+    def test_edge_delete(self, small_dynamic):
+        dynamic, _ = small_dynamic
+        dynamic.apply_edge_update(EdgeUpdate(view=0, u=0, v=1, weight=2.0))
+        dynamic.apply_edge_update(EdgeUpdate(view=0, u=0, v=1, weight=0.0))
+        snapshot = dynamic.snapshot()
+        assert snapshot.graph_views[0][0, 1] == 0.0
+
+    def test_laplacian_matches_static_rebuild(self, small_dynamic):
+        dynamic, _ = small_dynamic
+        updates = [
+            EdgeUpdate(view=0, u=2, v=7),
+            EdgeUpdate(view=1, u=4, v=9, weight=2.0),
+            EdgeUpdate(view=0, u=11, v=3),
+        ]
+        dynamic.apply_edge_updates(updates)
+        snapshot = dynamic.snapshot()
+        static = build_view_laplacians(snapshot, knn_k=5)
+        streamed = dynamic.view_laplacians()
+        for a, b in zip(streamed, static):
+            assert abs(a - b).max() < 1e-10
+
+    def test_attribute_update_invalidates_knn(self, small_dynamic):
+        dynamic, _ = small_dynamic
+        graph_views = dynamic.n_graph_views
+        before = dynamic.view_laplacian(graph_views)  # attr view Laplacian
+        dynamic.update_attributes(0, 3, np.full(12, 9.0))
+        after = dynamic.view_laplacian(graph_views)
+        assert abs(before - after).max() > 0
+
+    def test_attribute_update_shape_checked(self, small_dynamic):
+        dynamic, _ = small_dynamic
+        with pytest.raises(ValidationError):
+            dynamic.update_attributes(0, 3, np.ones(5))
+
+    def test_bad_view_indices(self, small_dynamic):
+        dynamic, _ = small_dynamic
+        with pytest.raises(ValidationError):
+            dynamic.apply_edge_update(EdgeUpdate(view=9, u=0, v=1))
+        with pytest.raises(ValidationError):
+            dynamic.update_attributes(5, 0, np.ones(12))
+
+    def test_update_counter(self, small_dynamic):
+        dynamic, _ = small_dynamic
+        assert dynamic.updates_since_snapshot == 0
+        dynamic.apply_edge_update(EdgeUpdate(view=0, u=0, v=1))
+        assert dynamic.updates_since_snapshot == 1
+        dynamic.snapshot()
+        assert dynamic.updates_since_snapshot == 0
+
+
+class TestWarmStartObjective:
+    def test_matches_cold_objective(self, small_dynamic):
+        dynamic, mvag = small_dynamic
+        laplacians = dynamic.view_laplacians()
+        warm = WarmStartObjective(laplacians, k=2, gamma=0.5)
+        cold = SpectralObjective(laplacians, k=2, gamma=0.5)
+        for weights in ([0.5, 0.3, 0.2], [1 / 3] * 3, [0.2, 0.2, 0.6]):
+            assert warm(np.asarray(weights)) == pytest.approx(
+                cold(np.asarray(weights)), abs=1e-4
+            )
+
+    def test_warm_start_engages_on_larger_graphs(self):
+        mvag = generate_mvag(
+            n_nodes=400,
+            n_clusters=3,
+            graph_view_strengths=[0.8, 0.3],
+            attribute_view_dims=[16],
+            seed=6,
+        )
+        laplacians = build_view_laplacians(mvag, knn_k=5)
+        warm = WarmStartObjective(laplacians, k=3, gamma=0.5)
+        warm(np.asarray([1 / 3] * 3))
+        warm(np.asarray([0.34, 0.33, 0.33]))
+        assert warm.n_warm_evaluations >= 1
+
+    def test_validation(self, small_dynamic):
+        dynamic, _ = small_dynamic
+        laplacians = dynamic.view_laplacians()
+        with pytest.raises(ValidationError):
+            WarmStartObjective([], k=2)
+        with pytest.raises(ValidationError):
+            WarmStartObjective(laplacians, k=0)
+        warm = WarmStartObjective(laplacians, k=2)
+        with pytest.raises(ValidationError):
+            warm.set_laplacians(laplacians[:1])
+
+
+class TestLazySGLA:
+    def test_requires_fit(self, small_dynamic):
+        dynamic, _ = small_dynamic
+        lazy = LazySGLA(k=2)
+        with pytest.raises(NotFittedError):
+            lazy.refresh(dynamic)
+        with pytest.raises(NotFittedError):
+            lazy.laplacian(dynamic)
+
+    def test_small_updates_do_not_refit(self, small_dynamic):
+        dynamic, _ = small_dynamic
+        lazy = LazySGLA(k=2, drift_threshold=0.25).fit(dynamic)
+        dynamic.apply_edge_update(EdgeUpdate(view=1, u=0, v=1))
+        report = lazy.refresh(dynamic)
+        assert not report.refitted
+        assert report.n_objective_evaluations <= 1
+
+    def test_large_rewiring_triggers_refit(self, small_dynamic):
+        dynamic, mvag = small_dynamic
+        lazy = LazySGLA(k=2, drift_threshold=0.05).fit(dynamic)
+        rng = np.random.default_rng(0)
+        labels = mvag.labels
+        # Flood the strong view with cross-cluster edges: big drift.
+        cluster_a = np.flatnonzero(labels == 0)
+        cluster_b = np.flatnonzero(labels == 1)
+        updates = [
+            EdgeUpdate(
+                view=0,
+                u=int(rng.choice(cluster_a)),
+                v=int(rng.choice(cluster_b)),
+                weight=3.0,
+            )
+            for _ in range(200)
+        ]
+        dynamic.apply_edge_updates(updates)
+        report = lazy.refresh(dynamic)
+        assert report.drift > 0.05
+        assert report.refitted
+        assert lazy.total_refits == 1
+
+    def test_zero_threshold_always_refits(self, small_dynamic):
+        dynamic, _ = small_dynamic
+        lazy = LazySGLA(k=2, drift_threshold=0.0).fit(dynamic)
+        dynamic.apply_edge_update(EdgeUpdate(view=0, u=0, v=2))
+        report = lazy.refresh(dynamic)
+        assert report.refitted
+
+    def test_laplacian_shape(self, small_dynamic):
+        dynamic, _ = small_dynamic
+        lazy = LazySGLA(k=2).fit(dynamic)
+        laplacian = lazy.laplacian(dynamic)
+        assert laplacian.shape == (dynamic.n_nodes, dynamic.n_nodes)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            LazySGLA(k=2, drift_threshold=-0.1)
+
+    def test_weights_stay_on_simplex_through_stream(self, small_dynamic):
+        dynamic, _ = small_dynamic
+        lazy = LazySGLA(k=2, drift_threshold=0.02).fit(dynamic)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            updates = [
+                EdgeUpdate(
+                    view=int(rng.integers(2)),
+                    u=int(rng.integers(80)),
+                    v=int((rng.integers(79) + 1 + rng.integers(80)) % 80),
+                )
+                for _ in range(10)
+            ]
+            updates = [u for u in updates if u.u != u.v]
+            dynamic.apply_edge_updates(updates)
+            report = lazy.refresh(dynamic)
+            assert np.all(report.weights >= -1e-12)
+            assert report.weights.sum() == pytest.approx(1.0)

@@ -1,0 +1,135 @@
+"""Tests for logistic regression, splits, and the Table IV protocol."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.classification import (
+    LogisticRegression,
+    classification_report,
+    evaluate_embedding,
+    train_test_split_stratified,
+)
+from repro.utils.errors import NotFittedError, ValidationError
+
+
+def blobs(k=3, per_class=40, separation=4.0, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((k, 5)) * separation
+    features = np.vstack(
+        [centers[c] + rng.standard_normal((per_class, 5)) for c in range(k)]
+    )
+    labels = np.repeat(np.arange(k), per_class)
+    return features, labels
+
+
+class TestSplit:
+    def test_fraction_respected(self):
+        labels = np.repeat([0, 1], 50)
+        train, test = train_test_split_stratified(labels, 0.2, seed=0)
+        assert train.size == 20
+        assert test.size == 80
+
+    def test_stratification(self):
+        labels = np.array([0] * 90 + [1] * 10)
+        train, _ = train_test_split_stratified(labels, 0.2, seed=0)
+        assert (labels[train] == 1).sum() == 2
+
+    def test_every_class_in_train(self):
+        labels = np.array([0] * 50 + [1] * 2)
+        train, _ = train_test_split_stratified(labels, 0.02, seed=0)
+        assert set(labels[train]) == {0, 1}
+
+    def test_disjoint_and_complete(self):
+        labels = np.repeat(np.arange(4), 25)
+        train, test = train_test_split_stratified(labels, 0.3, seed=1)
+        assert set(train) & set(test) == set()
+        assert len(set(train) | set(test)) == 100
+
+    def test_deterministic(self):
+        labels = np.repeat([0, 1, 2], 20)
+        a = train_test_split_stratified(labels, 0.2, seed=5)
+        b = train_test_split_stratified(labels, 0.2, seed=5)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValidationError):
+            train_test_split_stratified([0, 1], 0.0)
+
+
+class TestLogisticRegression:
+    def test_separable_data_high_accuracy(self):
+        features, labels = blobs(separation=6.0, seed=1)
+        model = LogisticRegression().fit(features, labels)
+        predictions = model.predict(features)
+        assert (predictions == labels).mean() > 0.98
+
+    def test_probabilities_sum_to_one(self):
+        features, labels = blobs(seed=2)
+        model = LogisticRegression().fit(features, labels)
+        probabilities = model.predict_proba(features)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_binary(self):
+        features, labels = blobs(k=2, seed=3)
+        model = LogisticRegression().fit(features, labels)
+        assert set(model.predict(features)) <= {0, 1}
+
+    def test_original_label_space_preserved(self):
+        features, labels = blobs(k=2, seed=4)
+        shifted = labels * 10 + 5
+        model = LogisticRegression().fit(features, shifted)
+        assert set(model.predict(features)) <= {5, 15}
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.ones((2, 2)))
+
+    def test_l2_shrinks_weights(self):
+        features, labels = blobs(k=2, seed=5)
+        loose = LogisticRegression(l2=1e-6).fit(features, labels)
+        tight = LogisticRegression(l2=10.0).fit(features, labels)
+        assert np.linalg.norm(tight.weights_) < np.linalg.norm(loose.weights_)
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression(l2=-1.0)
+
+
+class TestClassificationReport:
+    def test_perfect(self):
+        report = classification_report([0, 1, 2], [0, 1, 2])
+        assert report["macro_f1"] == 1.0
+        assert report["micro_f1"] == 1.0
+
+    def test_hand_computed_micro(self):
+        # 3 of 4 correct -> micro-F1 = accuracy for single-label tasks.
+        report = classification_report([0, 0, 1, 1], [0, 0, 1, 0])
+        assert report["micro_f1"] == pytest.approx(0.75)
+
+    def test_macro_penalizes_minority_errors(self):
+        truth = [0] * 98 + [1] * 2
+        pred = [0] * 100
+        report = classification_report(truth, pred)
+        assert report["micro_f1"] > 0.9
+        assert report["macro_f1"] < 0.6
+
+
+class TestEvaluateEmbedding:
+    def test_protocol(self):
+        features, labels = blobs(separation=5.0, seed=6)
+        report = evaluate_embedding(features, labels, train_fraction=0.2, seed=0)
+        assert report["micro_f1"] > 0.95
+        assert report["macro_f1"] > 0.95
+
+    def test_deterministic(self):
+        features, labels = blobs(seed=7)
+        a = evaluate_embedding(features, labels, seed=3)
+        b = evaluate_embedding(features, labels, seed=3)
+        assert a == b
+
+    def test_noise_embedding_scores_low(self):
+        rng = np.random.default_rng(8)
+        features = rng.standard_normal((120, 8))
+        labels = np.repeat(np.arange(3), 40)
+        report = evaluate_embedding(features, labels, seed=0)
+        assert report["micro_f1"] < 0.6

@@ -1,0 +1,96 @@
+"""Tests for the from-scratch Hungarian algorithm."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment as scipy_assignment
+
+from repro.evaluation.hungarian import assignment_cost, linear_assignment
+from repro.utils.errors import ShapeError, ValidationError
+
+
+def brute_force_min(cost):
+    n_rows, n_cols = cost.shape
+    best = np.inf
+    for perm in itertools.permutations(range(n_cols), n_rows):
+        total = sum(cost[i, j] for i, j in enumerate(perm))
+        best = min(best, total)
+    return best
+
+
+class TestKnownCases:
+    def test_identity_cost(self):
+        cost = 1.0 - np.eye(3)
+        rows, cols = linear_assignment(cost)
+        np.testing.assert_array_equal(rows, [0, 1, 2])
+        np.testing.assert_array_equal(cols, [0, 1, 2])
+
+    def test_antidiagonal(self):
+        cost = np.array([[9.0, 1.0], [1.0, 9.0]])
+        rows, cols = linear_assignment(cost)
+        assert assignment_cost(cost, rows, cols) == pytest.approx(2.0)
+
+    def test_rectangular_wide(self):
+        cost = np.array([[4.0, 1.0, 3.0], [2.0, 0.0, 5.0]])
+        rows, cols = linear_assignment(cost)
+        assert rows.shape == (2,)
+        assert assignment_cost(cost, rows, cols) == pytest.approx(
+            brute_force_min(cost)
+        )
+
+    def test_rectangular_tall(self):
+        cost = np.array([[4.0, 1.0], [2.0, 0.0], [3.0, 2.0]])
+        rows, cols = linear_assignment(cost)
+        assert rows.shape == (2,)
+        expected_rows, expected_cols = scipy_assignment(cost)
+        expected = cost[expected_rows, expected_cols].sum()
+        assert assignment_cost(cost, rows, cols) == pytest.approx(expected)
+
+    def test_empty(self):
+        rows, cols = linear_assignment(np.zeros((0, 0)))
+        assert rows.size == 0 and cols.size == 0
+
+
+class TestValidation:
+    def test_1d_rejected(self):
+        with pytest.raises(ShapeError):
+            linear_assignment(np.ones(3))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            linear_assignment(np.array([[np.nan, 1.0], [1.0, 0.0]]))
+
+
+class TestAgainstScipyAndBruteForce:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scipy(self, n_rows, n_cols, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.random((n_rows, n_cols)) * 10
+        rows, cols = linear_assignment(cost)
+        scipy_rows, scipy_cols = scipy_assignment(cost)
+        ours = assignment_cost(cost, rows, cols)
+        scipys = cost[scipy_rows, scipy_cols].sum()
+        assert ours == pytest.approx(scipys, abs=1e-9)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force_square(self, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.integers(0, 20, size=(4, 4)).astype(float)
+        rows, cols = linear_assignment(cost)
+        assert assignment_cost(cost, rows, cols) == pytest.approx(
+            brute_force_min(cost)
+        )
+
+    def test_negative_costs(self):
+        cost = np.array([[-5.0, 0.0], [0.0, -5.0]])
+        rows, cols = linear_assignment(cost)
+        assert assignment_cost(cost, rows, cols) == pytest.approx(-10.0)

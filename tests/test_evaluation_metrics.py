@@ -1,0 +1,173 @@
+"""Tests for the clustering metrics (Acc, F1, NMI, ARI, Purity)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.clustering_metrics import (
+    accuracy,
+    adjusted_rand_index,
+    clustering_report,
+    contingency_matrix,
+    macro_f1,
+    normalized_mutual_information,
+    purity,
+)
+
+label_arrays = st.integers(min_value=10, max_value=60).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),
+    )
+)
+
+
+class TestContingency:
+    def test_counts(self):
+        matrix = contingency_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_arbitrary_label_values(self):
+        matrix = contingency_matrix([10, 10, 42], [7, 7, -3])
+        assert matrix.sum() == 3
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([0, 1, 2, 0], [0, 1, 2, 0]) == 1.0
+
+    def test_permuted_labels_still_perfect(self):
+        assert accuracy([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_hand_computed(self):
+        # Best matching fixes 3 of 4 points.
+        assert accuracy([0, 0, 1, 1], [0, 1, 1, 1]) == pytest.approx(0.75)
+
+    def test_more_clusters_than_classes(self):
+        value = accuracy([0, 0, 1, 1], [0, 1, 2, 3])
+        assert value == pytest.approx(0.5)
+
+
+class TestMacroF1:
+    def test_perfect(self):
+        assert macro_f1([0, 1, 1], [1, 0, 0]) == 1.0
+
+    def test_hand_computed(self):
+        # After matching: class 0 has tp=2 fp=1 fn=0 -> f1=0.8;
+        # class 1 has tp=1 fp=0 fn=1 -> f1=2/3.
+        value = macro_f1([0, 0, 1, 1], [0, 0, 0, 1])
+        assert value == pytest.approx((0.8 + 2 / 3) / 2)
+
+    def test_unmatched_cluster_counts_as_fp(self):
+        value = macro_f1([0, 0, 0, 0], [0, 0, 1, 1])
+        assert 0 < value < 1
+
+
+class TestNmi:
+    def test_perfect(self):
+        assert normalized_mutual_information([0, 1, 1], [5, 2, 2]) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, 2000)
+        b = rng.integers(0, 2, 2000)
+        assert normalized_mutual_information(a, b) < 0.01
+
+    def test_single_cluster_each(self):
+        assert normalized_mutual_information([0, 0], [1, 1]) == 1.0
+
+    def test_trivial_vs_informative(self):
+        assert normalized_mutual_information([0, 1, 0, 1], [0, 0, 0, 0]) == 0.0
+
+    def test_symmetric(self):
+        a = [0, 0, 1, 1, 2]
+        b = [0, 1, 1, 2, 2]
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+
+class TestAri:
+    def test_perfect(self):
+        assert adjusted_rand_index([0, 1, 2], [2, 0, 1]) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, 3000)
+        b = rng.integers(0, 3, 3000)
+        assert abs(adjusted_rand_index(a, b)) < 0.02
+
+    def test_hand_computed(self):
+        # Classic example: ARI of this split is 0.24242...
+        truth = [0, 0, 0, 1, 1, 1]
+        pred = [0, 0, 1, 1, 2, 2]
+        assert adjusted_rand_index(truth, pred) == pytest.approx(0.2424, abs=1e-3)
+
+    def test_can_be_negative(self):
+        truth = [0, 1, 0, 1]
+        pred = [0, 0, 1, 1]
+        assert adjusted_rand_index(truth, pred) < 0
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert purity([0, 1, 1], [1, 0, 0]) == 1.0
+
+    def test_hand_computed(self):
+        assert purity([0, 0, 1, 1], [0, 0, 0, 1]) == pytest.approx(0.75)
+
+    def test_singleton_clusters_trivially_pure(self):
+        assert purity([0, 0, 1, 1], [0, 1, 2, 3]) == 1.0
+
+
+class TestReport:
+    def test_keys(self):
+        report = clustering_report([0, 1, 0, 1], [0, 1, 1, 1])
+        assert set(report) == {"acc", "f1", "nmi", "ari", "purity"}
+
+    def test_all_in_range(self):
+        report = clustering_report([0, 1, 0, 1], [1, 0, 0, 1])
+        for name, value in report.items():
+            lower = -0.5 if name == "ari" else 0.0
+            assert lower <= value <= 1.0
+
+
+class TestProperties:
+    @given(label_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_ranges(self, pair):
+        truth, pred = pair
+        report = clustering_report(truth, pred)
+        assert 0.0 <= report["acc"] <= 1.0
+        assert 0.0 <= report["f1"] <= 1.0
+        assert 0.0 <= report["nmi"] <= 1.0
+        assert -0.5 - 1e-9 <= report["ari"] <= 1.0
+        assert 0.0 <= report["purity"] <= 1.0
+
+    @given(label_arrays, st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_relabeling_invariance(self, pair, seed):
+        """Acc/NMI/ARI/Purity are invariant to permuting predicted label
+        names.  (Matching-based macro-F1 is excluded: optimal matchings can
+        tie on accuracy while differing in per-class F1, so tie-breaking
+        makes it only accuracy-invariant, not F1-invariant.)"""
+        truth, pred = pair
+        pred = np.asarray(pred)
+        rng = np.random.default_rng(seed)
+        names = np.unique(pred)
+        permuted_names = rng.permutation(names)
+        mapping = dict(zip(names.tolist(), permuted_names.tolist()))
+        relabeled = np.array([mapping[p] for p in pred])
+        before = clustering_report(truth, pred)
+        after = clustering_report(truth, relabeled)
+        for key in ("acc", "nmi", "ari", "purity"):
+            assert before[key] == pytest.approx(after[key], abs=1e-9)
+
+    @given(st.lists(st.integers(0, 3), min_size=5, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_self_comparison_perfect(self, labels):
+        report = clustering_report(labels, labels)
+        assert report["acc"] == 1.0
+        assert report["purity"] == 1.0
+        assert report["ari"] == pytest.approx(1.0)

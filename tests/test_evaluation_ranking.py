@@ -1,0 +1,71 @@
+"""Tests for the overall-rank aggregation (Tables III/IV last column)."""
+
+import pytest
+
+from repro.evaluation.ranking import overall_ranks
+
+
+class TestOverallRanks:
+    def test_simple_ordering(self):
+        table = {
+            "best": {"d1": {"acc": 0.9}, "d2": {"acc": 0.8}},
+            "worst": {"d1": {"acc": 0.1}, "d2": {"acc": 0.2}},
+        }
+        ranks = overall_ranks(table)
+        assert ranks["best"] == 1.0
+        assert ranks["worst"] == 2.0
+
+    def test_ties_share_average_rank(self):
+        table = {
+            "a": {"d": {"m": 0.5}},
+            "b": {"d": {"m": 0.5}},
+            "c": {"d": {"m": 0.1}},
+        }
+        ranks = overall_ranks(table)
+        assert ranks["a"] == ranks["b"] == pytest.approx(1.5)
+        assert ranks["c"] == 3.0
+
+    def test_missing_values_rank_worst(self):
+        table = {
+            "works": {"d": {"m": 0.5}},
+            "oom": {"d": {"m": None}},
+        }
+        ranks = overall_ranks(table)
+        assert ranks["works"] == 1.0
+        assert ranks["oom"] == 2.0
+
+    def test_lower_is_better_direction(self):
+        table = {
+            "fast": {"d": {"time": 1.0}},
+            "slow": {"d": {"time": 100.0}},
+        }
+        ranks = overall_ranks(table, higher_is_better=False)
+        assert ranks["fast"] == 1.0
+
+    def test_multiple_metrics_averaged(self):
+        table = {
+            "a": {"d": {"acc": 1.0, "nmi": 0.0}},
+            "b": {"d": {"acc": 0.0, "nmi": 1.0}},
+        }
+        ranks = overall_ranks(table)
+        assert ranks["a"] == pytest.approx(1.5)
+        assert ranks["b"] == pytest.approx(1.5)
+
+    def test_paper_shape_sgla_ranks_best(self):
+        """A miniature Table III: SGLA tops most cells, baseline wins one."""
+        table = {
+            "sgla": {
+                "rm": {"acc": 0.97, "nmi": 0.83},
+                "yelp": {"acc": 0.93, "nmi": 0.73},
+            },
+            "mcgc": {
+                "rm": {"acc": 0.96, "nmi": 0.80},
+                "yelp": {"acc": 0.86, "nmi": 0.60},
+            },
+            "wmsc": {
+                "rm": {"acc": 0.63, "nmi": 0.001},
+                "yelp": {"acc": 0.81, "nmi": 0.54},
+            },
+        }
+        ranks = overall_ranks(table)
+        assert ranks["sgla"] < ranks["mcgc"] < ranks["wmsc"]

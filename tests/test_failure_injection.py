@@ -1,0 +1,125 @@
+"""Failure-injection tests: degenerate inputs across the public API.
+
+These exercise the edge cases DESIGN.md §7 calls out: empty views,
+isolated nodes, k at the boundary, degenerate eigengaps, NaN attributes,
+and single-cluster data — the library must fail loudly with a
+:class:`repro.utils.errors.ValidationError` or degrade gracefully, never
+crash with a bare numpy/scipy error.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.cluster.spectral import spectral_clustering
+from repro.core.laplacian import normalized_laplacian
+from repro.core.mvag import MVAG
+from repro.core.objective import SpectralObjective
+from repro.core.sgla import SGLA
+from repro.core.sgla_plus import SGLAPlus
+from repro.datasets.generator import generate_mvag
+from repro.evaluation.clustering_metrics import clustering_report
+from repro.utils.errors import ReproError, ValidationError
+
+
+def ring(n):
+    adjacency = sp.lil_matrix((n, n))
+    for i in range(n):
+        adjacency[i, (i + 1) % n] = adjacency[(i + 1) % n, i] = 1.0
+    return adjacency.tocsr()
+
+
+class TestEmptyAndIsolated:
+    def test_empty_graph_view(self):
+        """A view with zero edges is legal; its Laplacian is the identity."""
+        mvag = MVAG(
+            graph_views=[sp.csr_matrix((20, 20)), ring(20)],
+            labels=np.repeat([0, 1], 10),
+        )
+        result = SGLAPlus().fit(mvag, k=2)
+        assert np.isfinite(result.objective_value)
+
+    def test_isolated_nodes_survive_pipeline(self):
+        """Nodes isolated in every view must not break clustering."""
+        adjacency = ring(20).tolil()
+        adjacency[5, :] = 0
+        adjacency[:, 5] = 0
+        mvag = MVAG(graph_views=[adjacency.tocsr()])
+        laplacian = normalized_laplacian(mvag.graph_views[0])
+        labels = spectral_clustering(laplacian, 2, seed=0)
+        assert labels.shape == (20,)
+
+    def test_all_views_empty_objective(self):
+        laplacian = normalized_laplacian(sp.csr_matrix((10, 10)))
+        objective = SpectralObjective([laplacian], k=2)
+        # Identity Laplacian: all eigenvalues 1, eigengap ratio 1.
+        parts = objective.components([1.0])
+        assert parts.eigengap == pytest.approx(1.0)
+
+
+class TestBoundaryK:
+    def test_k_equals_n_minus_one(self):
+        mvag = MVAG(graph_views=[ring(8)], labels=np.arange(8) % 7)
+        result = SGLA(t_max=3).fit(mvag, k=7)
+        assert result.weights.shape == (1,)
+
+    def test_k_too_large_rejected(self):
+        mvag = MVAG(graph_views=[ring(6)])
+        with pytest.raises(ValidationError):
+            SGLA().fit(mvag, k=6)  # needs k+1 = 7 eigenvalues > n
+
+    def test_single_cluster_report(self):
+        report = clustering_report([0] * 10, [0] * 10)
+        assert report["acc"] == 1.0
+
+
+class TestDegenerateSpectra:
+    def test_disconnected_aggregation_eigengap_guarded(self):
+        """k+1 components make lambda_{k+1} ~ 0; the eigengap guard must
+        keep h finite."""
+        blocks = sp.block_diag([ring(5)] * 4).tocsr()
+        laplacian = normalized_laplacian(blocks)
+        objective = SpectralObjective([laplacian], k=3)
+        value = objective([1.0])
+        assert np.isfinite(value)
+
+    def test_identical_views(self):
+        laplacian = normalized_laplacian(ring(12))
+        result = SGLAPlus().fit([laplacian, laplacian, laplacian], k=2)
+        assert np.isfinite(result.objective_value)
+
+
+class TestBadInputsFailLoudly:
+    def test_nan_attribute_rejected_at_construction(self):
+        features = np.ones((10, 3))
+        features[2, 1] = np.nan
+        with pytest.raises(ReproError):
+            MVAG(graph_views=[ring(10)], attribute_views=[features])
+
+    def test_mismatched_view_sizes_rejected(self):
+        with pytest.raises(ReproError):
+            MVAG(graph_views=[ring(10), ring(12)])
+
+    def test_generator_rejects_tiny_n(self):
+        with pytest.raises(ValidationError):
+            generate_mvag(n_nodes=3, n_clusters=2)
+
+
+class TestSkewedClusters:
+    def test_unbalanced_partition_recovered(self):
+        """Moderately skewed clusters: the pipeline should still work.
+        (Extreme imbalance is a known normalized-cut failure mode, so the
+        generator's balance knob is exercised at a realistic setting.)"""
+        mvag = generate_mvag(
+            n_nodes=200,
+            n_clusters=2,
+            graph_view_strengths=[0.9],
+            attribute_view_dims=[8],
+            attribute_view_signals=[0.7],
+            balance=0.6,
+            seed=2,
+        )
+        result = SGLAPlus().fit(mvag)
+        labels = spectral_clustering(result.laplacian, 2, seed=0)
+        report = clustering_report(mvag.labels, labels)
+        assert report["acc"] > 0.8

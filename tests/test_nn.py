@@ -1,0 +1,228 @@
+"""Gradient checks and training tests for the nn substrate."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.nn.activations import (
+    relu,
+    relu_backward,
+    sigmoid,
+    sigmoid_backward,
+    tanh,
+    tanh_backward,
+)
+from repro.nn.autoencoder import GraphAutoEncoder, renormalized_adjacency
+from repro.nn.layers import DenseLayer, GCNLayer
+from repro.nn.losses import mse_matrix, weighted_bce_with_logits_matrix
+from repro.nn.optimizers import SGD, Adam
+from repro.utils.errors import ValidationError
+
+
+def numeric_gradient(func, array, step=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + step
+        plus = func()
+        flat[i] = original - step
+        minus = func()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * step)
+    return grad
+
+
+class TestActivations:
+    def test_relu_values(self):
+        np.testing.assert_allclose(relu(np.array([-1.0, 2.0])), [0.0, 2.0])
+
+    def test_relu_gradient(self):
+        x = np.array([-1.0, 0.5])
+        grad = relu_backward(np.ones(2), x)
+        np.testing.assert_allclose(grad, [0.0, 1.0])
+
+    def test_sigmoid_stable_extremes(self):
+        values = sigmoid(np.array([-1000.0, 0.0, 1000.0]))
+        np.testing.assert_allclose(values, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_sigmoid_gradient_matches_numeric(self):
+        x = np.linspace(-2, 2, 7)
+        out = sigmoid(x)
+        analytic = sigmoid_backward(np.ones_like(x), out)
+        numeric = (sigmoid(x + 1e-6) - sigmoid(x - 1e-6)) / 2e-6
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_tanh_gradient_matches_numeric(self):
+        x = np.linspace(-2, 2, 7)
+        analytic = tanh_backward(np.ones_like(x), tanh(x))
+        numeric = (tanh(x + 1e-6) - tanh(x - 1e-6)) / 2e-6
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+
+class TestDenseLayer:
+    def test_forward_shape(self):
+        layer = DenseLayer(4, 3, seed=0)
+        assert layer.forward(np.ones((5, 4))).shape == (5, 3)
+
+    def test_weight_gradient_check(self):
+        rng = np.random.default_rng(0)
+        layer = DenseLayer(4, 3, seed=1)
+        x = rng.standard_normal((6, 4))
+        target = rng.standard_normal((6, 3))
+
+        def loss():
+            out = layer.forward(x)
+            return 0.5 * float(np.sum((out - target) ** 2))
+
+        out = layer.forward(x)
+        layer.zero_grad()
+        layer.backward(out - target)
+        numeric = numeric_gradient(loss, layer.params["W"])
+        np.testing.assert_allclose(layer.grads["W"], numeric, atol=1e-5)
+
+    def test_input_gradient_check(self):
+        rng = np.random.default_rng(1)
+        layer = DenseLayer(3, 2, seed=2)
+        x = rng.standard_normal((4, 3))
+        target = rng.standard_normal((4, 2))
+
+        def loss():
+            return 0.5 * float(np.sum((layer.forward(x) - target) ** 2))
+
+        out = layer.forward(x)
+        layer.zero_grad()
+        grad_in = layer.backward(out - target)
+        numeric = numeric_gradient(loss, x)
+        np.testing.assert_allclose(grad_in, numeric, atol=1e-5)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(ValidationError):
+            DenseLayer(2, 2).backward(np.ones((1, 2)))
+
+
+class TestGCNLayer:
+    def test_gradient_check(self):
+        rng = np.random.default_rng(2)
+        n, d_in, d_out = 6, 4, 3
+        adjacency = sp.csr_matrix((rng.random((n, n)) < 0.4).astype(float))
+        a_hat = renormalized_adjacency(adjacency.maximum(adjacency.T))
+        layer = GCNLayer(d_in, d_out, seed=3)
+        x = rng.standard_normal((n, d_in))
+        target = rng.standard_normal((n, d_out))
+
+        def loss():
+            return 0.5 * float(np.sum((layer.forward(a_hat, x) - target) ** 2))
+
+        out = layer.forward(a_hat, x)
+        layer.zero_grad()
+        grad_in = layer.backward(out - target)
+        numeric_w = numeric_gradient(loss, layer.params["W"])
+        np.testing.assert_allclose(layer.grads["W"], numeric_w, atol=1e-5)
+        numeric_x = numeric_gradient(loss, x)
+        np.testing.assert_allclose(grad_in, numeric_x, atol=1e-5)
+
+
+class TestLosses:
+    def test_bce_gradient_check(self):
+        rng = np.random.default_rng(3)
+        code = rng.standard_normal((5, 3)) * 0.5
+        target = (rng.random((5, 5)) < 0.4).astype(float)
+        target = np.maximum(target, target.T)
+
+        def loss():
+            value, _ = weighted_bce_with_logits_matrix(code, target, 2.0)
+            return value
+
+        _, analytic = weighted_bce_with_logits_matrix(code, target, 2.0)
+        numeric = numeric_gradient(loss, code)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_mse_gradient_check(self):
+        rng = np.random.default_rng(4)
+        code = rng.standard_normal((4, 2))
+        target = rng.standard_normal((4, 4))
+        target = 0.5 * (target + target.T)
+
+        def loss():
+            value, _ = mse_matrix(code, target)
+            return value
+
+        _, analytic = mse_matrix(code, target)
+        numeric = numeric_gradient(loss, code)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+
+class TestOptimizers:
+    def _quadratic_layer(self):
+        layer = DenseLayer(1, 1, seed=0)
+        layer.params["W"][...] = 5.0
+        layer.params["b"][...] = -3.0
+        return layer
+
+    def test_sgd_converges_on_quadratic(self):
+        layer = self._quadratic_layer()
+        optimizer = SGD([layer], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            layer.grads["W"] += layer.params["W"]  # grad of 0.5 W^2
+            layer.grads["b"] += layer.params["b"]
+            optimizer.step()
+        assert abs(layer.params["W"][0, 0]) < 1e-4
+
+    def test_adam_converges_on_quadratic(self):
+        layer = self._quadratic_layer()
+        optimizer = Adam([layer], lr=0.3)
+        for _ in range(300):
+            optimizer.zero_grad()
+            layer.grads["W"] += layer.params["W"]
+            layer.grads["b"] += layer.params["b"]
+            optimizer.step()
+        assert abs(layer.params["W"][0, 0]) < 1e-3
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValidationError):
+            SGD([], lr=0.0)
+        with pytest.raises(ValidationError):
+            Adam([], lr=-1.0)
+
+
+class TestAutoEncoder:
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(5)
+        n = 30
+        labels = np.repeat([0, 1], n // 2)
+        dense = (labels[:, None] == labels[None, :]).astype(float)
+        dense *= (rng.random((n, n)) < 0.6)
+        dense = np.maximum(dense, dense.T)
+        np.fill_diagonal(dense, 1.0)
+        adjacency = sp.csr_matrix(dense)
+        a_hat = renormalized_adjacency(adjacency)
+        features = rng.standard_normal((n, 8))
+        model = GraphAutoEncoder(8, hidden_dim=16, code_dim=4, epochs=40,
+                                 lr=1e-2, seed=0)
+        model.fit(a_hat, features, [dense])
+        assert model.loss_history[-1] < model.loss_history[0]
+
+    def test_code_shape(self):
+        rng = np.random.default_rng(6)
+        n = 20
+        adjacency = sp.csr_matrix((rng.random((n, n)) < 0.3).astype(float))
+        a_hat = renormalized_adjacency(adjacency.maximum(adjacency.T))
+        features = rng.standard_normal((n, 5))
+        model = GraphAutoEncoder(5, hidden_dim=8, code_dim=3, epochs=2, seed=0)
+        target = np.eye(n)
+        model.fit(a_hat, features, [target])
+        assert model.transform(a_hat, features).shape == (n, 3)
+
+    def test_needs_targets(self):
+        model = GraphAutoEncoder(4, epochs=1)
+        with pytest.raises(ValidationError):
+            model.fit(sp.identity(3, format="csr"), np.ones((3, 4)), [])
+
+    def test_renormalized_adjacency_rows(self):
+        adjacency = sp.csr_matrix(np.ones((4, 4)) - np.eye(4))
+        a_hat = renormalized_adjacency(adjacency)
+        values = np.linalg.eigvalsh(a_hat.toarray())
+        assert values.max() <= 1.0 + 1e-9

@@ -1,0 +1,111 @@
+"""Tests for repro.optim.simplex (projections and weight reduction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.optim.simplex import (
+    capped_simplex_violation,
+    project_to_capped_simplex,
+    project_to_simplex,
+    reduce_weights,
+    restore_weights,
+)
+from repro.utils.errors import ValidationError
+
+finite_vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=8),
+    elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+)
+
+
+class TestProjectToSimplex:
+    def test_already_on_simplex(self):
+        point = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(project_to_simplex(point), point)
+
+    def test_known_projection(self):
+        # Projection of (1, 1) onto the simplex is (0.5, 0.5).
+        np.testing.assert_allclose(
+            project_to_simplex([1.0, 1.0]), [0.5, 0.5]
+        )
+
+    def test_negative_coordinates_zeroed(self):
+        result = project_to_simplex([-1.0, 2.0])
+        np.testing.assert_allclose(result, [0.0, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            project_to_simplex([])
+
+    @given(finite_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_output_on_simplex(self, point):
+        result = project_to_simplex(point)
+        assert np.all(result >= 0)
+        assert abs(result.sum() - 1.0) < 1e-9
+
+    @given(finite_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent(self, point):
+        once = project_to_simplex(point)
+        twice = project_to_simplex(once)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=3,
+            elements=st.floats(min_value=-3, max_value=3, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_closest_point_vs_dirichlet_samples(self, point):
+        """No random simplex point may be closer than the projection."""
+        projection = project_to_simplex(point)
+        distance = np.linalg.norm(point - projection)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            candidate = rng.dirichlet(np.ones(3))
+            assert np.linalg.norm(point - candidate) >= distance - 1e-9
+
+
+class TestProjectToCappedSimplex:
+    def test_interior_point_unchanged(self):
+        point = np.array([0.2, 0.3])
+        np.testing.assert_allclose(project_to_capped_simplex(point), point)
+
+    def test_negative_clipped(self):
+        np.testing.assert_allclose(
+            project_to_capped_simplex([-0.5, 0.4]), [0.0, 0.4]
+        )
+
+    def test_overflow_projected_to_face(self):
+        result = project_to_capped_simplex([0.9, 0.9])
+        assert abs(result.sum() - 1.0) < 1e-9
+
+    @given(finite_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_always_feasible(self, point):
+        result = project_to_capped_simplex(point)
+        assert capped_simplex_violation(result) < 1e-9
+
+
+class TestReduceRestore:
+    def test_round_trip(self):
+        weights = np.array([0.2, 0.3, 0.5])
+        restored = restore_weights(reduce_weights(weights))
+        np.testing.assert_allclose(restored, weights)
+
+    def test_restore_normalizes_overflow(self):
+        restored = restore_weights([0.8, 0.8])
+        assert abs(restored.sum() - 1.0) < 1e-12
+        assert np.all(restored >= 0)
+
+    def test_violation_measure(self):
+        assert capped_simplex_violation([0.5, 0.4]) == 0.0
+        assert capped_simplex_violation([-0.1, 0.4]) == pytest.approx(0.1)
+        assert capped_simplex_violation([0.8, 0.8]) == pytest.approx(0.6)

@@ -1,0 +1,64 @@
+"""Tests for repro.utils.random."""
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import ValidationError
+from repro.utils.random import (
+    check_random_state,
+    random_simplex_point,
+    spawn_rngs,
+)
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = check_random_state(42).random(5)
+        b = check_random_state(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert check_random_state(generator) is generator
+
+    def test_rejects_strings(self):
+        with pytest.raises(ValidationError):
+            check_random_state("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_streams_differ(self):
+        rngs = spawn_rngs(0, 2)
+        assert rngs[0].random() != rngs[1].random()
+
+    def test_deterministic(self):
+        first = [rng.random() for rng in spawn_rngs(7, 3)]
+        second = [rng.random() for rng in spawn_rngs(7, 3)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestRandomSimplexPoint:
+    def test_on_simplex(self):
+        point = random_simplex_point(6, rng=3)
+        assert np.all(point >= 0)
+        assert abs(point.sum() - 1.0) < 1e-12
+
+    def test_dim_one(self):
+        np.testing.assert_allclose(random_simplex_point(1, rng=0), [1.0])
+
+    def test_bad_dim(self):
+        with pytest.raises(ValidationError):
+            random_simplex_point(0)

@@ -1,0 +1,134 @@
+"""Tests for repro.utils.sparse."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.errors import ShapeError, ValidationError
+from repro.utils.sparse import (
+    degree_vector,
+    edge_count,
+    ensure_csr,
+    is_symmetric,
+    remove_self_loops,
+    row_normalize,
+    sparse_identity,
+    symmetrize,
+    to_dense,
+)
+
+
+class TestEnsureCsr:
+    def test_dense_input(self):
+        matrix = ensure_csr(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        assert sp.issparse(matrix)
+        assert matrix.format == "csr"
+        assert matrix.dtype == np.float64
+
+    def test_sparse_input_passthrough(self):
+        original = sp.random(10, 10, density=0.3, format="csr", dtype=np.float64)
+        assert ensure_csr(original) is original
+
+    def test_coo_converted(self):
+        coo = sp.random(5, 5, density=0.5, format="coo")
+        assert ensure_csr(coo).format == "csr"
+
+    def test_dtype_cast(self):
+        matrix = sp.csr_matrix(np.eye(3, dtype=np.float32))
+        assert ensure_csr(matrix).dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            ensure_csr(np.arange(4))
+
+
+class TestSymmetry:
+    def test_is_symmetric_true(self):
+        matrix = np.array([[0, 1.0], [1.0, 0]])
+        assert is_symmetric(matrix)
+
+    def test_is_symmetric_false(self):
+        matrix = np.array([[0, 1.0], [0.0, 0]])
+        assert not is_symmetric(matrix)
+
+    def test_non_square_not_symmetric(self):
+        assert not is_symmetric(np.ones((2, 3)))
+
+    def test_symmetrize_max(self):
+        matrix = sp.csr_matrix(np.array([[0, 2.0], [1.0, 0]]))
+        result = to_dense(symmetrize(matrix, mode="max"))
+        assert result[0, 1] == result[1, 0] == 2.0
+
+    def test_symmetrize_mean(self):
+        matrix = sp.csr_matrix(np.array([[0, 2.0], [1.0, 0]]))
+        result = to_dense(symmetrize(matrix, mode="mean"))
+        assert result[0, 1] == result[1, 0] == 1.5
+
+    def test_symmetrize_or(self):
+        matrix = sp.csr_matrix(np.array([[0, 2.0], [0.0, 0]]))
+        result = to_dense(symmetrize(matrix, mode="or"))
+        assert result[0, 1] == result[1, 0] == 2.0
+
+    def test_symmetrize_bad_mode(self):
+        with pytest.raises(ValidationError):
+            symmetrize(np.eye(2), mode="bogus")
+
+    def test_symmetrize_non_square(self):
+        with pytest.raises(ShapeError):
+            symmetrize(np.ones((2, 3)))
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_symmetrize_always_symmetric(self, n, seed):
+        rng = np.random.default_rng(seed)
+        matrix = sp.random(n, n, density=0.4, random_state=rng.integers(1 << 30))
+        for mode in ("max", "mean", "or"):
+            assert is_symmetric(symmetrize(matrix, mode=mode))
+
+
+class TestSelfLoops:
+    def test_remove_self_loops(self):
+        matrix = sp.csr_matrix(np.array([[5.0, 1.0], [1.0, 3.0]]))
+        cleaned = remove_self_loops(matrix)
+        assert cleaned.diagonal().sum() == 0.0
+        assert cleaned[0, 1] == 1.0
+
+    def test_original_untouched(self):
+        matrix = sp.csr_matrix(np.eye(3))
+        remove_self_loops(matrix)
+        assert matrix.diagonal().sum() == 3.0
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self):
+        matrix = row_normalize(np.array([[1.0, 3.0], [2.0, 2.0]]))
+        np.testing.assert_allclose(
+            np.asarray(matrix.sum(axis=1)).ravel(), [1.0, 1.0]
+        )
+
+    def test_zero_rows_preserved(self):
+        matrix = row_normalize(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert np.asarray(matrix.sum(axis=1)).ravel()[0] == 0.0
+
+
+class TestDegreesAndEdges:
+    def test_degree_vector(self):
+        adjacency = np.array([[0, 1.0, 2.0], [1.0, 0, 0], [2.0, 0, 0]])
+        np.testing.assert_allclose(degree_vector(adjacency), [3.0, 1.0, 2.0])
+
+    def test_edge_count_triangle(self):
+        adjacency = np.ones((3, 3)) - np.eye(3)
+        assert edge_count(adjacency) == 3
+
+    def test_edge_count_ignores_diagonal(self):
+        assert edge_count(np.eye(4)) == 0
+
+    def test_sparse_identity(self):
+        identity = sparse_identity(5)
+        np.testing.assert_allclose(to_dense(identity), np.eye(5))
+
+    def test_sparse_identity_negative(self):
+        with pytest.raises(ValidationError):
+            sparse_identity(-1)

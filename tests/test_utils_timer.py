@@ -1,0 +1,57 @@
+"""Tests for the timing utilities."""
+
+import time
+
+from repro.utils.timer import Timer, timed
+
+
+class TestTimer:
+    def test_accumulates(self):
+        timer = Timer()
+        with timer.section("work"):
+            time.sleep(0.01)
+        with timer.section("work"):
+            time.sleep(0.01)
+        assert timer.total("work") >= 0.02
+
+    def test_unknown_section_zero(self):
+        assert Timer().total("nothing") == 0.0
+
+    def test_sections_independent(self):
+        timer = Timer()
+        with timer.section("a"):
+            pass
+        with timer.section("b"):
+            time.sleep(0.005)
+        assert timer.total("b") >= timer.total("a")
+
+    def test_summary_contains_sections(self):
+        timer = Timer()
+        with timer.section("eigensolve"):
+            pass
+        assert "eigensolve" in timer.summary()
+
+    def test_exception_still_recorded(self):
+        timer = Timer()
+        try:
+            with timer.section("broken"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert timer.total("broken") >= 0.0
+        assert "broken" in timer.sections
+
+
+class TestTimed:
+    def test_records_seconds(self):
+        with timed() as record:
+            time.sleep(0.005)
+        assert record["seconds"] >= 0.005
+
+    def test_records_on_exception(self):
+        try:
+            with timed() as record:
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert record["seconds"] is not None

@@ -1,0 +1,117 @@
+"""Tests for repro.utils.validation and the error hierarchy."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.utils.errors import (
+    ReproError,
+    ShapeError,
+    ValidationError,
+)
+from repro.utils.validation import (
+    check_embedding_dim,
+    check_finite,
+    check_labels,
+    check_square,
+    check_weights,
+)
+
+
+class TestErrorHierarchy:
+    def test_validation_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+    def test_shape_is_validation(self):
+        assert issubclass(ShapeError, ValidationError)
+
+    def test_all_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise ShapeError("boom")
+
+
+class TestCheckSquare:
+    def test_accepts_square(self):
+        matrix = np.eye(3)
+        assert check_square(matrix) is matrix
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ShapeError):
+            check_square(np.ones((2, 3)))
+
+
+class TestCheckFinite:
+    def test_accepts_finite_dense(self):
+        check_finite(np.ones(3))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_finite(np.array([1.0, np.nan]))
+
+    def test_rejects_inf_sparse(self):
+        matrix = sp.csr_matrix(np.array([[np.inf, 0.0], [0.0, 0.0]]))
+        with pytest.raises(ValidationError):
+            check_finite(matrix)
+
+    def test_empty_sparse_ok(self):
+        check_finite(sp.csr_matrix((3, 3)))
+
+
+class TestCheckLabels:
+    def test_basic(self):
+        labels = check_labels([0, 1, 2, 1])
+        assert labels.dtype == np.int64
+
+    def test_float_integers_accepted(self):
+        np.testing.assert_array_equal(check_labels([0.0, 1.0]), [0, 1])
+
+    def test_non_integral_rejected(self):
+        with pytest.raises(ValidationError):
+            check_labels([0.5, 1.0])
+
+    def test_length_enforced(self):
+        with pytest.raises(ShapeError):
+            check_labels([0, 1], n=3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ShapeError):
+            check_labels(np.zeros((2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            check_labels([])
+
+
+class TestCheckWeights:
+    def test_valid(self):
+        weights = check_weights([0.5, 0.5])
+        np.testing.assert_allclose(weights, [0.5, 0.5])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            check_weights([1.5, -0.5])
+
+    def test_sum_enforced(self):
+        with pytest.raises(ValidationError):
+            check_weights([0.5, 0.2])
+
+    def test_length_enforced(self):
+        with pytest.raises(ShapeError):
+            check_weights([1.0], r=2)
+
+    def test_tiny_negative_clipped(self):
+        weights = check_weights([1.0 + 1e-9, -1e-9])
+        assert np.all(weights >= 0)
+
+
+class TestCheckEmbeddingDim:
+    def test_valid(self):
+        assert check_embedding_dim(8, 100) == 8
+
+    def test_too_large(self):
+        with pytest.raises(ValidationError):
+            check_embedding_dim(100, 100)
+
+    def test_non_positive(self):
+        with pytest.raises(ValidationError):
+            check_embedding_dim(0, 10)
