@@ -7,6 +7,7 @@ from repro.core.integration import (
     IntegrationResult,
     integrate,
 )
+from repro.core.fastpath import StackedLaplacians
 from repro.core.knn import knn_graph
 from repro.core.laplacian import (
     aggregate_laplacians,
@@ -29,6 +30,7 @@ __all__ = [
     "normalized_adjacency",
     "build_view_laplacians",
     "aggregate_laplacians",
+    "StackedLaplacians",
     "SpectralObjective",
     "ObjectiveComponents",
     "QuadraticSurrogate",

@@ -137,6 +137,9 @@ def _single_objective(
         gamma=config.gamma,
         eigen_method=config.eigen_method,
         seed=config.seed,
+        fast_path=config.fast_path,
+        matrix_free=config.matrix_free,
+        warm_start=config.warm_start,
     )
     func = objective_variant(objective, variant)
     outcome = minimize_on_simplex(

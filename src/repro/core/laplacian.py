@@ -87,20 +87,45 @@ def aggregate_laplacians(
     """The MVAG Laplacian ``L = sum_i w_i L_i`` of Eq. (1).
 
     ``weights`` must lie on the probability simplex (checked).
+
+    The sum is built in a single coalescing pass: all nonzero-weight terms'
+    COO triplets are concatenated once and merged by one ``tocsr`` (which
+    sums duplicates), instead of ``r`` incremental CSR additions that each
+    reallocate and re-merge the partial result.  For repeated evaluations
+    over *fixed* Laplacians, prefer
+    :class:`repro.core.fastpath.StackedLaplacians`, which hoists even this
+    single merge out of the loop.
     """
     if len(laplacians) == 0:
         raise ValidationError("need at least one Laplacian to aggregate")
     weights = check_weights(weights, r=len(laplacians))
     n = laplacians[0].shape[0]
-    result = sp.csr_matrix((n, n), dtype=np.float64)
+    terms = []
     for weight, laplacian in zip(weights, laplacians):
         if laplacian.shape != (n, n):
             raise ShapeError(
                 f"Laplacian shape {laplacian.shape} != expected {(n, n)}"
             )
         if weight != 0.0:
-            result = result + weight * ensure_csr(laplacian)
-    return result.tocsr()
+            terms.append((weight, ensure_csr(laplacian)))
+    if not terms:
+        return sp.csr_matrix((n, n), dtype=np.float64)
+    if len(terms) == 1:
+        weight, laplacian = terms[0]
+        result = (laplacian * weight).tocsr()
+        result.sum_duplicates()  # canonicalize, matching the summed branches
+        return result
+    rows = np.concatenate(
+        [
+            np.repeat(np.arange(n, dtype=np.int64), np.diff(term.indptr))
+            for _, term in terms
+        ]
+    )
+    cols = np.concatenate([term.indices for _, term in terms])
+    data = np.concatenate([weight * term.data for weight, term in terms])
+    result = sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+    result.sort_indices()
+    return result
 
 
 def aggregate_adjacencies(mvag: MVAG, knn_k: int = 10) -> sp.csr_matrix:

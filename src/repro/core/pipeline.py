@@ -11,7 +11,7 @@ These are the two paper workflows (Section III-B):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np
@@ -42,6 +42,15 @@ class EmbedOutput:
     backend: str  # "netmf" or "sketchne"
 
 
+def _resolve_config(
+    config: Optional[SGLAConfig], fast_path: Optional[bool]
+) -> Optional[SGLAConfig]:
+    """Apply a pipeline-level ``fast_path`` override onto the config."""
+    if fast_path is None:
+        return config
+    return replace(config or SGLAConfig(), fast_path=fast_path)
+
+
 def cluster_mvag(
     mvag: MVAG,
     k: Optional[int] = None,
@@ -49,6 +58,7 @@ def cluster_mvag(
     config: Optional[SGLAConfig] = None,
     assign: str = "discretize",
     seed=0,
+    fast_path: Optional[bool] = None,
 ) -> ClusterOutput:
     """Cluster an MVAG end to end.
 
@@ -65,11 +75,15 @@ def cluster_mvag(
         SGLA hyperparameters (paper defaults when omitted).
     assign:
         Spectral assignment step: ``"discretize"`` or ``"kmeans"``.
+    fast_path:
+        Optional override of ``config.fast_path`` (the stacked/warm-started
+        objective evaluation path); ``None`` keeps the config's setting.
     """
     if k is None:
         k = mvag.n_classes
     if k is None:
         raise ValidationError("k must be given for an unlabeled MVAG")
+    config = _resolve_config(config, fast_path)
     integration = integrate(mvag, k=k, method=method, config=config)
     labels = spectral_clustering(
         integration.laplacian, k=k, assign=assign, seed=seed
@@ -85,6 +99,7 @@ def embed_mvag(
     config: Optional[SGLAConfig] = None,
     backend: str = "auto",
     seed=0,
+    fast_path: Optional[bool] = None,
 ) -> EmbedOutput:
     """Embed an MVAG end to end.
 
@@ -95,11 +110,15 @@ def embed_mvag(
     backend:
         ``"netmf"``, ``"sketchne"``, or ``"auto"`` (NetMF when the dense
         NetMF matrix fits, SketchNE-style otherwise — the paper's policy).
+    fast_path:
+        Optional override of ``config.fast_path`` (the stacked/warm-started
+        objective evaluation path); ``None`` keeps the config's setting.
     """
     if k is None:
         k = mvag.n_classes
     if k is None:
         raise ValidationError("k must be given for an unlabeled MVAG")
+    config = _resolve_config(config, fast_path)
     integration = integrate(mvag, k=k, method=method, config=config)
     laplacian = integration.laplacian
 

@@ -54,6 +54,18 @@ class SGLAConfig:
         is essentially free.
     seed:
         Determinism seed threaded through eigensolvers and optimizers.
+    fast_path:
+        Evaluate the objective through the stacked GEMV aggregation and
+        warm-started eigensolves (DESIGN.md §6, default).  ``False``
+        selects the legacy per-evaluation sparse-add + cold-start route,
+        kept for cross-checking.
+    matrix_free:
+        With ``fast_path``, run iterative eigensolvers against the
+        matrix-free aggregate operator instead of materializing ``L(w)``.
+    warm_start:
+        With ``fast_path``, seed each iterative eigensolve with the
+        previous evaluation's Ritz vectors; disable to isolate warm-start
+        effects or to force cold starts on pathological spectra.
     """
 
     gamma: float = 0.5
@@ -66,6 +78,9 @@ class SGLAConfig:
     rho_start: float = 0.25
     surrogate_max_evaluations: int = 200
     seed: int = 0
+    fast_path: bool = True
+    matrix_free: bool = False
+    warm_start: bool = True
 
     def __post_init__(self) -> None:
         if self.eps <= 0:
@@ -169,6 +184,9 @@ class SGLA:
             gamma=config.gamma,
             eigen_method=config.eigen_method,
             seed=config.seed,
+            fast_path=config.fast_path,
+            matrix_free=config.matrix_free,
+            warm_start=config.warm_start,
         )
         outcome = minimize_on_simplex(
             objective,

@@ -109,6 +109,9 @@ class SGLAPlus:
             gamma=config.gamma,
             eigen_method=config.eigen_method,
             seed=config.seed,
+            fast_path=config.fast_path,
+            matrix_free=config.matrix_free,
+            warm_start=config.warm_start,
         )
         r = objective.r
 
@@ -127,11 +130,15 @@ class SGLAPlus:
             )
 
         # Lines 1-6: sample weight vectors, evaluate the true objective.
+        # The whole sample set goes through the batched fast path: one
+        # GEMM aggregates every L(w_l), and consecutive eigensolves warm-
+        # start each other.
         if delta_samples == 0:
             samples = interpolation_samples(r)
         else:
             samples = adjusted_samples(r, delta_s=delta_samples, rng=config.seed)
-        sample_values = [objective(sample) for sample in samples]
+        sample_components, _ = objective.evaluate_batch(samples)
+        sample_values = [component.value for component in sample_components]
         history = list(zip(samples, sample_values))
 
         # Line 7: least-Frobenius-norm quadratic model (Eq. 9).  The raw
