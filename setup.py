@@ -1,9 +1,13 @@
 """Legacy setup shim.
 
-The execution environment has setuptools without the ``wheel`` package, so
-PEP 517 editable installs fail with "invalid command 'bdist_wheel'".  This
-shim enables ``pip install -e . --no-use-pep517``; all metadata lives in
-``pyproject.toml``.
+All metadata lives in ``pyproject.toml``; this file only enables the
+legacy (non-PEP-517) install paths needed where the ``wheel`` package is
+unavailable and PEP 517 fails with "invalid command 'bdist_wheel'":
+
+* ``pip install -e . --no-use-pep517`` — on pip < 23.1 (newer pip also
+  requires ``wheel`` for this flag);
+* ``python setup.py develop`` — works everywhere this repository's
+  execution environment provides (setuptools only, no ``wheel``).
 """
 
 from setuptools import setup

@@ -37,6 +37,12 @@ from repro.embedding.netmf import netmf_embedding, netmf_from_laplacian
 from repro.embedding.sketchne import sketchne_embedding
 from repro.evaluation.classification import classification_report, evaluate_embedding
 from repro.evaluation.clustering_metrics import clustering_report
+from repro.solvers import (
+    SolverContext,
+    SolverStats,
+    available_backends,
+    register_backend,
+)
 
 __version__ = "1.0.0"
 
@@ -67,5 +73,9 @@ __all__ = [
     "clustering_report",
     "classification_report",
     "evaluate_embedding",
+    "SolverContext",
+    "SolverStats",
+    "available_backends",
+    "register_backend",
     "__version__",
 ]

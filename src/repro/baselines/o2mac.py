@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.baselines.common import feature_matrix
 from repro.cluster.kmeans import kmeans
-from repro.core.eigen import bottom_eigenvalues
+from repro.solvers import SolverContext, solve_bottom_values
 from repro.core.laplacian import normalized_laplacian
 from repro.core.mvag import MVAG
 from repro.nn.autoencoder import GraphAutoEncoder, renormalized_adjacency
@@ -37,14 +37,16 @@ _NODE_LIMIT = 6000
 _EIGENGAP_FLOOR = 1e-12
 
 
-def _informative_view_index(mvag: MVAG, k: int, seed) -> int:
+def _informative_view_index(mvag: MVAG, k: int, seed, solver=None) -> int:
     """Pick the graph view with the clearest k-community spectrum."""
     best_index = 0
     best_score = np.inf
     for index, adjacency in enumerate(mvag.graph_views):
         laplacian = normalized_laplacian(adjacency)
         t = min(k + 1, adjacency.shape[0])
-        values = bottom_eigenvalues(laplacian, t, seed=seed)
+        values = solve_bottom_values(
+            laplacian, t, solver=solver, seed=seed, warm=False
+        )
         score = values[min(k, t) - 1] / max(values[t - 1], _EIGENGAP_FLOOR)
         if score < best_score:
             best_score = score
@@ -61,6 +63,7 @@ def o2mac_fit(
     lr: float = 5e-3,
     target_dim: int = 128,
     seed=0,
+    solver: SolverContext = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Train the auto-encoder; return ``(embedding, labels)``."""
     if mvag.n_nodes > _NODE_LIMIT:
@@ -73,7 +76,7 @@ def o2mac_fit(
     if mvag.n_graph_views == 0:
         raise ValidationError("O2MAC requires at least one graph view")
 
-    informative = _informative_view_index(mvag, k, seed)
+    informative = _informative_view_index(mvag, k, seed, solver=solver)
     a_hat = renormalized_adjacency(mvag.graph_views[informative])
     features = feature_matrix(mvag, target_dim=target_dim, seed=seed)
 

@@ -15,6 +15,8 @@ reconstruction preserves.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.cluster.kmeans import kmeans
@@ -22,6 +24,7 @@ from repro.cluster.spectral import spectral_embedding_matrix
 from repro.core.laplacian import build_view_laplacians
 from repro.core.mvag import MVAG
 from repro.embedding.svd import randomized_svd
+from repro.solvers import SolverContext
 from repro.utils.errors import ValidationError
 
 
@@ -42,13 +45,23 @@ def _principal_eigenvector(matrix: np.ndarray, n_iter: int = 100) -> np.ndarray:
     return vector / total if total > 0 else np.full_like(vector, 1.0 / vector.size)
 
 
-def wmsc_cluster(mvag: MVAG, k: int, knn_k: int = 10, seed=0) -> np.ndarray:
-    """Cluster an MVAG with spectral-perturbation view weighting."""
+def wmsc_cluster(
+    mvag: MVAG,
+    k: int,
+    knn_k: int = 10,
+    seed=0,
+    solver: Optional[SolverContext] = None,
+) -> np.ndarray:
+    """Cluster an MVAG with spectral-perturbation view weighting.
+
+    ``solver`` optionally routes the per-view eigensolves through a shared
+    :class:`repro.solvers.SolverContext` (e.g. the ``batch`` backend).
+    """
     if k < 1:
         raise ValidationError(f"k must be >= 1, got {k}")
     laplacians = build_view_laplacians(mvag, knn_k=knn_k)
     embeddings = [
-        spectral_embedding_matrix(laplacian, k, seed=seed)
+        spectral_embedding_matrix(laplacian, k, seed=seed, solver=solver)
         for laplacian in laplacians
     ]
     r = len(embeddings)

@@ -38,6 +38,7 @@ from repro.datasets.profiles import (
 )
 from repro.evaluation.classification import evaluate_embedding
 from repro.evaluation.clustering_metrics import clustering_report
+from repro.solvers import available_backends
 from repro.utils.errors import ReproError
 
 
@@ -73,6 +74,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--seed", type=int, default=0)
     cluster.add_argument("--out", default=None,
                          help="optional .npy path for the labels")
+    _add_solver_args(cluster)
 
     embed = commands.add_parser("embed", help="embed an MVAG")
     embed.add_argument("input", help=".npz MVAG file or profile name")
@@ -85,7 +87,36 @@ def _build_parser() -> argparse.ArgumentParser:
     embed.add_argument("--seed", type=int, default=0)
     embed.add_argument("--out", default=None,
                        help="optional .npy path for the embedding")
+    _add_solver_args(embed)
     return parser
+
+
+def _add_solver_args(subparser) -> None:
+    """Spectral-solver options shared by the cluster/embed commands."""
+    subparser.add_argument(
+        "--eigen-backend",
+        default="auto",
+        choices=("auto",) + available_backends(),
+        help="spectral-solver backend from the repro.solvers registry",
+    )
+    subparser.add_argument(
+        "--solver-workers",
+        type=int,
+        default=None,
+        help="thread budget for the 'batch' backend (default: core count)",
+    )
+
+
+def _solver_config(args, **extra) -> SGLAConfig:
+    """An SGLAConfig carrying the CLI's solver selection."""
+    backend = None if args.eigen_backend == "auto" else args.eigen_backend
+    return SGLAConfig(
+        seed=args.seed,
+        knn_k=args.knn_k,
+        eigen_backend=backend,
+        solver_workers=args.solver_workers,
+        **extra,
+    )
 
 
 def _load_input(path_or_profile: str, seed: int):
@@ -115,14 +146,21 @@ def _cmd_generate(args) -> int:
 
 def _cmd_cluster(args) -> int:
     mvag = _load_input(args.input, args.seed)
-    config = SGLAConfig(gamma=args.gamma, knn_k=args.knn_k, seed=args.seed)
+    config = _solver_config(args, gamma=args.gamma)
+    solver = config.make_solver()
     output = cluster_mvag(
-        mvag, k=args.k, method=args.method, config=config, seed=args.seed
+        mvag,
+        k=args.k,
+        method=args.method,
+        config=config,
+        seed=args.seed,
+        solver=solver,
     )
     if output.integration.weights is not None:
         weights = np.round(output.integration.weights, 4)
         print(f"view weights: {weights.tolist()}")
     print(f"integration time: {output.integration.elapsed_seconds:.3f}s")
+    print(f"solver: {solver.stats.summary()}")
     if mvag.labels is not None:
         report = clustering_report(mvag.labels, output.labels)
         for metric, value in report.items():
@@ -135,7 +173,8 @@ def _cmd_cluster(args) -> int:
 
 def _cmd_embed(args) -> int:
     mvag = _load_input(args.input, args.seed)
-    config = SGLAConfig(knn_k=args.knn_k, seed=args.seed)
+    config = _solver_config(args)
+    solver = config.make_solver()
     output = embed_mvag(
         mvag,
         dim=args.dim,
@@ -143,9 +182,11 @@ def _cmd_embed(args) -> int:
         config=config,
         backend=args.backend,
         seed=args.seed,
+        solver=solver,
     )
     print(f"backend: {output.backend}")
     print(f"embedding shape: {output.embedding.shape}")
+    print(f"solver: {solver.stats.summary()}")
     if mvag.labels is not None:
         report = evaluate_embedding(output.embedding, mvag.labels, seed=args.seed)
         print(f"macro_f1 {report['macro_f1']:.4f}")

@@ -10,9 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Optional
+
 from repro.cluster.discretize import discretize
 from repro.cluster.kmeans import kmeans
-from repro.core.eigen import bottom_eigenpairs
+from repro.solvers import SolverContext, solve_bottom
 from repro.utils.errors import ValidationError
 
 
@@ -22,6 +24,7 @@ def spectral_embedding_matrix(
     eigen_method: str = "auto",
     drop_first: bool = False,
     seed=0,
+    solver: Optional[SolverContext] = None,
 ) -> np.ndarray:
     """Bottom-``k`` eigenvector matrix of ``laplacian`` (columns ascending).
 
@@ -34,10 +37,14 @@ def spectral_embedding_matrix(
     drop_first:
         Skip the trivial bottom eigenvector (useful when the graph is
         connected and the constant vector carries no information).
+    solver:
+        Optional shared :class:`repro.solvers.SolverContext`; when given,
+        its backend policy and warm-start blocks are used (e.g. reusing
+        the Ritz block the integration stage left for this Laplacian).
     """
     extra = 1 if drop_first else 0
-    _, vectors = bottom_eigenpairs(
-        laplacian, k + extra, method=eigen_method, seed=seed
+    _, vectors = solve_bottom(
+        laplacian, k + extra, solver=solver, method=eigen_method, seed=seed
     )
     return vectors[:, extra : k + extra]
 
@@ -49,6 +56,7 @@ def spectral_clustering(
     eigen_method: str = "auto",
     n_init: int = 10,
     seed=0,
+    solver: Optional[SolverContext] = None,
 ) -> np.ndarray:
     """Cluster nodes from a Laplacian's bottom eigenspace.
 
@@ -62,11 +70,14 @@ def spectral_clustering(
         ``"discretize"`` (Yu–Shi rotation, the paper's choice) or
         ``"kmeans"`` on row-normalized eigenvectors.
     eigen_method:
-        Eigensolver dispatch (see :mod:`repro.core.eigen`).
+        Eigensolver dispatch (any :mod:`repro.solvers` registry key).
     n_init:
         k-means restarts when ``assign="kmeans"``.
     seed:
         Determinism seed.
+    solver:
+        Optional shared :class:`repro.solvers.SolverContext` (overrides
+        ``eigen_method``).
 
     Returns
     -------
@@ -78,7 +89,7 @@ def spectral_clustering(
     if k == 1:
         return np.zeros(laplacian.shape[0], dtype=np.int64)
     vectors = spectral_embedding_matrix(
-        laplacian, k, eigen_method=eigen_method, seed=seed
+        laplacian, k, eigen_method=eigen_method, seed=seed, solver=solver
     )
     if assign == "discretize":
         return discretize(vectors, seed=seed)

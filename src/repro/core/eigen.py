@@ -1,307 +1,38 @@
-"""Bottom eigenpair computation for (aggregated) normalized Laplacians.
+"""Compatibility shim over the :mod:`repro.solvers` subsystem.
 
-The objective of the paper needs the ``k + 1`` smallest eigenvalues of the
-MVAG Laplacian at every evaluation, and spectral clustering/embedding needs
-the corresponding eigenvectors.  Normalized Laplacians are symmetric PSD
-with spectrum inside ``[0, 2]``, which enables a robust trick: the smallest
-eigenvalues of ``L`` are the largest of ``2I - L``, and Lanczos converges
-quickly to *largest* eigenvalues without any factorization or shift-invert.
+Historically this module *was* the eigensolver: dense/Lanczos/LOBPCG
+implementations plus the dispatch rule.  Those now live in the pluggable
+backend registry under :mod:`repro.solvers` (see DESIGN.md §7) — every
+public name below is re-exported unchanged so existing imports keep
+working:
 
-Three solvers are provided:
+* :func:`bottom_eigenpairs` / :func:`bottom_eigenvalues` — one-shot
+  solves through the registry (``method`` accepts any registered backend
+  key, including the new ``"shift-invert"`` and ``"batch"``);
+* :func:`fiedler_value` — ``lambda_2`` via the eigenvalues-only path;
+* :func:`resolve_method` / :data:`DENSE_CUTOFF` — the shared dispatch
+  policy (single source of truth; callers that plan around the dispatch
+  must use it rather than re-deriving it).
 
-* ``dense``   — ``scipy.linalg.eigh`` on the materialized matrix; exact,
-  used for small ``n`` and as the ground truth in tests;
-* ``lanczos`` — implicitly-restarted Lanczos (``eigsh``) on ``2I - L``;
-* ``lobpcg``  — block preconditioned solver, useful for very large sparse
-  matrices with many requested pairs.
-
-``method="auto"`` picks dense below a size threshold and Lanczos above it.
-
-Two hot-path refinements (DESIGN.md §6):
-
-* the input may be a :class:`scipy.sparse.linalg.LinearOperator` (e.g. the
-  matrix-free aggregate from :mod:`repro.core.fastpath`), in which case the
-  iterative solvers run without ever materializing the matrix;
-* iterative solves accept a **warm start** ``v0`` — a vector or a block of
-  Ritz vectors from a nearby previous solve — which sharply reduces
-  iteration counts when an optimizer takes small steps in weight space.
+New code should import from :mod:`repro.solvers` directly and prefer a
+:class:`repro.solvers.SolverContext` when issuing repeated solves.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from repro.solvers import (
+    DENSE_CUTOFF,
+    SPECTRUM_UPPER_BOUND as _SPECTRUM_UPPER_BOUND,
+    bottom_eigenpairs,
+    bottom_eigenvalues,
+    fiedler_value,
+    resolve_method,
+)
 
-import numpy as np
-import scipy.linalg
-import scipy.sparse as sp
-import scipy.sparse.linalg as spla
-
-from repro.utils.errors import ValidationError
-from repro.utils.random import check_random_state
-from repro.utils.sparse import ensure_csr, sparse_identity
-
-DENSE_CUTOFF = 600
-_SPECTRUM_UPPER_BOUND = 2.0
-
-
-def resolve_method(n: int, t: int, method: str, is_operator: bool = False) -> str:
-    """The solver actually used for an ``n x n`` problem with ``t`` pairs.
-
-    Single source of truth for the dispatch: ``"auto"`` picks dense below
-    the size cutoff (Lanczos for matrix-free operators, which cannot be
-    densified cheaply), and iterative methods fall back to dense when
-    ARPACK's ``t < n - 1`` requirement is violated.  Callers that plan
-    around the dispatch (e.g. the objective's warm-start logic) must use
-    this rather than re-deriving it.
-    """
-    if method == "auto":
-        method = "dense" if (n <= DENSE_CUTOFF and not is_operator) else "lanczos"
-    # eigsh requires t < n; fall back to the exact dense path otherwise.
-    if method in ("lanczos", "lobpcg") and t >= n - 1:
-        method = "dense"
-    return method
-
-
-def _prepare(laplacian, t: int, method: str):
-    """Shared validation + method dispatch for the public entry points.
-
-    Returns ``(laplacian, n, t, method)`` where ``laplacian`` is CSR for
-    matrix inputs and untouched for ``LinearOperator`` inputs.
-    """
-    is_operator = isinstance(laplacian, spla.LinearOperator)
-    if not is_operator:
-        laplacian = ensure_csr(laplacian)
-    if laplacian.shape[0] != laplacian.shape[1]:
-        raise ValidationError(f"laplacian must be square, got {laplacian.shape}")
-    n = laplacian.shape[0]
-    if t < 1:
-        raise ValidationError(f"t must be >= 1, got {t}")
-    t = min(t, n)
-
-    method = resolve_method(n, t, method, is_operator=is_operator)
-    if method == "dense" and is_operator:
-        # Materialize only in the tiny-n fallback; the dense solver needs
-        # an actual matrix.
-        laplacian = ensure_csr(laplacian @ np.eye(n))
-    return laplacian, n, t, method
-
-
-def bottom_eigenpairs(
-    laplacian,
-    t: int,
-    method: str = "auto",
-    tol: float = 0.0,
-    seed=None,
-    maxiter: Optional[int] = None,
-    v0: Optional[np.ndarray] = None,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Return the ``t`` smallest eigenvalues and eigenvectors of ``laplacian``.
-
-    Parameters
-    ----------
-    laplacian:
-        Symmetric PSD matrix — or matrix-free ``LinearOperator`` — with
-        spectrum in ``[0, 2]`` (a normalized Laplacian or convex
-        combination thereof).
-    t:
-        Number of requested eigenpairs (clamped to ``n``).
-    method:
-        ``"auto"``, ``"dense"``, ``"lanczos"`` or ``"lobpcg"``.
-    tol:
-        Solver tolerance (0 means machine precision for ``eigsh``).
-    seed:
-        Seed for the deterministic starting vector of iterative solvers.
-    maxiter:
-        Optional iteration cap for iterative solvers.
-    v0:
-        Optional warm start: an ``(n,)`` vector or ``(n, m)`` block of Ritz
-        vectors from a previous, nearby solve.  Lanczos collapses a block
-        to a single start vector; LOBPCG uses it as its initial block.
-
-    Returns
-    -------
-    (eigenvalues, eigenvectors):
-        Eigenvalues ascending, shape ``(t,)``; eigenvectors column-aligned,
-        shape ``(n, t)``.
-    """
-    laplacian, n, t, method = _prepare(laplacian, t, method)
-
-    if method == "dense":
-        values, vectors = scipy.linalg.eigh(laplacian.toarray())
-        return values[:t].copy(), vectors[:, :t].copy()
-    if method == "lanczos":
-        return _lanczos_bottom(
-            laplacian, t, tol=tol, seed=seed, maxiter=maxiter, v0=v0
-        )
-    if method == "lobpcg":
-        return _lobpcg_bottom(
-            laplacian, t, tol=tol, seed=seed, maxiter=maxiter, v0=v0
-        )
-    raise ValidationError(f"unknown eigensolver method {method!r}")
-
-
-def bottom_eigenvalues(
-    laplacian,
-    t: int,
-    method: str = "auto",
-    tol: float = 0.0,
-    seed=None,
-    maxiter: Optional[int] = None,
-) -> np.ndarray:
-    """Eigenvalues-only variant of :func:`bottom_eigenpairs`.
-
-    Skips the eigenvector extraction entirely: the dense path uses the
-    tridiagonal eigenvalue solver (``eigvals_only``), and the Lanczos path
-    passes ``return_eigenvectors=False`` to ARPACK so no Ritz vectors are
-    ever assembled.  Callers that do not warm-start (e.g.
-    :func:`fiedler_value`) should prefer this entry point.
-    """
-    laplacian, n, t, method = _prepare(laplacian, t, method)
-
-    if method == "dense":
-        values = scipy.linalg.eigh(laplacian.toarray(), eigvals_only=True)
-        return values[:t].copy()
-    if method == "lanczos":
-        values = _lanczos_bottom(
-            laplacian,
-            t,
-            tol=tol,
-            seed=seed,
-            maxiter=maxiter,
-            return_eigenvectors=False,
-        )
-        return values
-    if method == "lobpcg":
-        values, _ = _lobpcg_bottom(
-            laplacian, t, tol=tol, seed=seed, maxiter=maxiter, v0=None
-        )
-        return values
-    raise ValidationError(f"unknown eigensolver method {method!r}")
-
-
-def _complement(laplacian, n: int):
-    """``2I - L`` as a matrix, or matrix-free when ``L`` is an operator."""
-    if isinstance(laplacian, spla.LinearOperator):
-        return spla.LinearOperator(
-            laplacian.shape,
-            matvec=lambda x: _SPECTRUM_UPPER_BOUND * x - (laplacian @ x),
-            dtype=np.float64,
-        )
-    return (_SPECTRUM_UPPER_BOUND * sparse_identity(n)) - laplacian
-
-
-def _collapse_warm_start(v0, n: int) -> Optional[np.ndarray]:
-    """Reduce a warm-start block to one Lanczos start vector (or None)."""
-    if v0 is None:
-        return None
-    v0 = np.asarray(v0, dtype=np.float64)
-    if v0.ndim == 2:
-        # A sum of (near-orthonormal) Ritz vectors has components along
-        # every wanted eigendirection — the ideal Krylov seed.
-        v0 = v0.sum(axis=1)
-    if v0.shape != (n,):
-        return None
-    norm = float(np.linalg.norm(v0))
-    if not np.isfinite(norm) or norm < 1e-12:
-        return None
-    return v0 / norm
-
-
-def _lanczos_bottom(
-    laplacian,
-    t: int,
-    tol: float,
-    seed,
-    maxiter: Optional[int],
-    v0: Optional[np.ndarray] = None,
-    return_eigenvectors: bool = True,
-):
-    """One ARPACK solve on ``2I - L``; values-only when asked.
-
-    Returns ``(values, vectors)`` normally, or just ``values`` when
-    ``return_eigenvectors=False`` (ARPACK then skips Ritz-vector
-    assembly entirely).
-    """
-    n = laplacian.shape[0]
-    complement = _complement(laplacian, n)
-    start = _collapse_warm_start(v0, n)
-    if start is None:
-        rng = check_random_state(seed if seed is not None else 0)
-        start = rng.standard_normal(n)
-    vectors = None
-    try:
-        result = spla.eigsh(
-            complement,
-            k=t,
-            which="LA",
-            tol=tol,
-            v0=start,
-            maxiter=maxiter,
-            return_eigenvectors=return_eigenvectors,
-        )
-        values, vectors = result if return_eigenvectors else (result, None)
-    except spla.ArpackNoConvergence as exc:  # pragma: no cover - rare
-        if exc.eigenvalues is not None and len(exc.eigenvalues) >= t:
-            values = exc.eigenvalues[:t]
-            if return_eigenvectors:
-                vectors = exc.eigenvectors[:, :t]
-        else:
-            raise
-    # Largest of (2I - L) descending == smallest of L ascending.
-    order = np.argsort(-values)
-    values = np.clip(
-        _SPECTRUM_UPPER_BOUND - values[order], 0.0, _SPECTRUM_UPPER_BOUND
-    )
-    if not return_eigenvectors:
-        return values
-    return values, vectors[:, order]
-
-
-def _lobpcg_bottom(
-    laplacian,
-    t: int,
-    tol: float,
-    seed,
-    maxiter: Optional[int],
-    v0: Optional[np.ndarray] = None,
-) -> Tuple[np.ndarray, np.ndarray]:
-    n = laplacian.shape[0]
-    rng = check_random_state(seed if seed is not None else 0)
-    guess = None
-    if v0 is not None:
-        block = np.asarray(v0, dtype=np.float64)
-        if block.ndim == 1:
-            block = block[:, None]
-        if block.shape[0] == n and block.shape[1] >= 1:
-            if block.shape[1] >= t:
-                guess = np.ascontiguousarray(block[:, :t])
-            else:
-                pad = rng.standard_normal((n, t - block.shape[1]))
-                guess = np.hstack([block, pad])
-    if guess is None:
-        guess = rng.standard_normal((n, t))
-        # Constant vector is (near) the bottom eigenvector of connected
-        # views; seeding with it accelerates convergence substantially.
-        guess[:, 0] = 1.0
-    values, vectors = spla.lobpcg(
-        laplacian,
-        guess,
-        largest=False,
-        tol=tol or 1e-8,
-        maxiter=maxiter or 200,
-    )
-    order = np.argsort(values)
-    values = np.asarray(values)[order]
-    vectors = np.asarray(vectors)[:, order]
-    return np.clip(values, 0.0, _SPECTRUM_UPPER_BOUND), vectors
-
-
-def fiedler_value(laplacian, method: str = "auto", seed=None) -> float:
-    """The second-smallest eigenvalue ``lambda_2`` (connectivity objective).
-
-    Uses the eigenvalues-only solver path — no eigenvectors are computed.
-    """
-    values = bottom_eigenvalues(laplacian, t=2, method=method, seed=seed)
-    if values.shape[0] < 2:
-        return 0.0
-    return float(values[1])
+__all__ = [
+    "DENSE_CUTOFF",
+    "bottom_eigenpairs",
+    "bottom_eigenvalues",
+    "fiedler_value",
+    "resolve_method",
+]

@@ -13,9 +13,16 @@ optimization, all of that structural work can be hoisted out of the loop:
   no per-evaluation sparse allocations at all;
 * :meth:`StackedLaplacians.operator` exposes the **matrix-free** aggregate
   ``x -> sum_i w_i (L_i @ x)`` as a :class:`scipy.sparse.linalg.
-  LinearOperator`, so Lanczos/LOBPCG can run without materializing ``L(w)``
-  even once (useful when ``nnz`` is large and few eigensolver iterations
-  are needed, e.g. under warm starting).
+  LinearOperator`, so the iterative :mod:`repro.solvers` backends can run
+  without materializing ``L(w)`` even once (useful when ``nnz`` is large
+  and few eigensolver iterations are needed, e.g. under warm starting).
+
+Both products — the preallocated CSR from :meth:`~StackedLaplacians.
+combine` / :meth:`~StackedLaplacians.with_data` and the matrix-free
+operator — feed directly into the spectral-solver registry (DESIGN.md
+§7): the objective hands them to its :class:`repro.solvers.SolverContext`,
+and batched callers pass whole chunks to the ``batch`` backend's
+threaded ``solve_many``.
 
 Zero weights are handled naturally by the GEMV (their rows contribute
 nothing); the union pattern therefore contains explicit zeros for entries

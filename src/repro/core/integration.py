@@ -29,6 +29,7 @@ from repro.core.objective import SpectralObjective, objective_variant
 from repro.core.sgla import SGLA, SGLAConfig, prepare_laplacians
 from repro.core.sgla_plus import SGLAPlus
 from repro.optim.driver import minimize_on_simplex
+from repro.solvers import SolverContext, SolverStats
 from repro.utils.errors import ValidationError
 
 INTEGRATION_METHODS = (
@@ -51,6 +52,7 @@ class IntegrationResult:
     objective_value: Optional[float] = None
     history: List[Tuple[np.ndarray, float]] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    solver_stats: Optional[SolverStats] = None
 
 
 def integrate(
@@ -58,6 +60,7 @@ def integrate(
     k: Optional[int] = None,
     method: str = "sgla+",
     config: Optional[SGLAConfig] = None,
+    solver: Optional[SolverContext] = None,
 ) -> IntegrationResult:
     """Integrate all views of ``mvag`` into one Laplacian.
 
@@ -71,6 +74,10 @@ def integrate(
         One of :data:`INTEGRATION_METHODS`.
     config:
         Solver hyperparameters (paper defaults when omitted).
+    solver:
+        Optional shared :class:`repro.solvers.SolverContext` carrying
+        warm-start state and statistics across pipeline stages; built
+        from the config when omitted.
     """
     if method not in INTEGRATION_METHODS:
         raise ValidationError(
@@ -80,7 +87,7 @@ def integrate(
     start = time.perf_counter()
 
     if method == "sgla":
-        result = SGLA(config).fit(mvag, k=k)
+        result = SGLA(config).fit(mvag, k=k, solver=solver)
         return IntegrationResult(
             laplacian=result.laplacian,
             weights=result.weights,
@@ -88,9 +95,10 @@ def integrate(
             objective_value=result.objective_value,
             history=result.history,
             elapsed_seconds=result.elapsed_seconds,
+            solver_stats=result.solver_stats,
         )
     if method == "sgla+":
-        result = SGLAPlus(config).fit(mvag, k=k)
+        result = SGLAPlus(config).fit(mvag, k=k, solver=solver)
         return IntegrationResult(
             laplacian=result.laplacian,
             weights=result.weights,
@@ -98,9 +106,10 @@ def integrate(
             objective_value=result.objective_value,
             history=result.history,
             elapsed_seconds=result.elapsed_seconds,
+            solver_stats=result.solver_stats,
         )
     if method in ("eigengap", "connectivity"):
-        return _single_objective(mvag, k, method, config, start)
+        return _single_objective(mvag, k, method, config, start, solver)
     if method == "equal":
         laplacians, _ = prepare_laplacians(mvag, k or mvag.n_classes or 2, config)
         weights = np.full(len(laplacians), 1.0 / len(laplacians))
@@ -128,18 +137,19 @@ def _single_objective(
     variant: str,
     config: SGLAConfig,
     start: float,
+    solver: Optional[SolverContext] = None,
 ) -> IntegrationResult:
     """Optimize the eigengap-only or connectivity-only objective (Fig. 11)."""
     laplacians, k = prepare_laplacians(mvag, k, config)
+    solver = solver or config.make_solver()
     objective = SpectralObjective(
         laplacians,
         k=k,
         gamma=config.gamma,
-        eigen_method=config.eigen_method,
         seed=config.seed,
         fast_path=config.fast_path,
         matrix_free=config.matrix_free,
-        warm_start=config.warm_start,
+        solver=solver,
     )
     func = objective_variant(objective, variant)
     outcome = minimize_on_simplex(
@@ -159,4 +169,5 @@ def _single_objective(
         objective_value=outcome.value,
         history=outcome.history,
         elapsed_seconds=time.perf_counter() - start,
+        solver_stats=solver.stats,
     )

@@ -34,13 +34,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.eigen import (
-    bottom_eigenpairs,
-    bottom_eigenvalues,
-    resolve_method,
-)
 from repro.core.fastpath import StackedLaplacians
 from repro.core.laplacian import aggregate_laplacians
+from repro.solvers import SolverContext
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_weights
 
@@ -72,7 +68,8 @@ class SpectralObjective:
     gamma:
         Regularization coefficient (paper default 0.5).
     eigen_method:
-        Passed through to :mod:`repro.core.eigen` solvers.
+        Backend key resolved through the :mod:`repro.solvers` registry
+        (ignored when an explicit ``solver`` context is supplied).
     cache:
         Whether to memoize evaluations by (rounded) weight vector.
     seed:
@@ -87,6 +84,11 @@ class SpectralObjective:
     warm_start:
         With ``fast_path``, seed each iterative eigensolve with the
         previous evaluation's Ritz vectors.
+    solver:
+        Optional shared :class:`repro.solvers.SolverContext`.  When given
+        it owns backend choice, warm-start blocks, and statistics (the
+        ``eigen_method`` / ``warm_start`` arguments are then ignored);
+        when omitted a private context is built from those arguments.
     """
 
     def __init__(
@@ -100,6 +102,7 @@ class SpectralObjective:
         fast_path: bool = True,
         matrix_free: bool = False,
         warm_start: bool = True,
+        solver: Optional[SolverContext] = None,
     ) -> None:
         if len(laplacians) == 0:
             raise ValidationError("need at least one view Laplacian")
@@ -113,15 +116,19 @@ class SpectralObjective:
         self.laplacians = list(laplacians)
         self.k = int(k)
         self.gamma = float(gamma)
-        self.eigen_method = eigen_method
         self.seed = seed
         self.fast_path = bool(fast_path)
         self.matrix_free = bool(matrix_free)
-        self.warm_start = bool(warm_start)
+        if solver is None:
+            solver = SolverContext(
+                method=eigen_method, seed=seed, warm_start=warm_start
+            )
+        self.solver = solver
+        self.eigen_method = solver.method
+        self.warm_start = solver.warm_start
         self._cache_enabled = bool(cache)
         self._cache: Dict[Tuple[int, ...], ObjectiveComponents] = {}
         self._stack: Optional[StackedLaplacians] = None
-        self._warm_vectors: Optional[np.ndarray] = None
         self.n_evaluations = 0  # distinct (uncached) eigensolve evaluations
 
     @property
@@ -146,21 +153,19 @@ class SpectralObjective:
         return self._stack
 
     def _resolved_eigen_method(self) -> str:
-        """The solver :mod:`repro.core.eigen` will dispatch to."""
-        return resolve_method(self.n, self.k + 1, self.eigen_method)
+        """The backend the solver context will dispatch to."""
+        return self.solver.resolve(self.n, self.k + 1)
 
     def _solve(self, weights: np.ndarray) -> np.ndarray:
         """One eigensolve for ``L(w)``; the hot inner call."""
         t = self.k + 1
         if not self.fast_path:
             laplacian = aggregate_laplacians(self.laplacians, weights)
-            return bottom_eigenvalues(
-                laplacian, t, method=self.eigen_method, seed=self.seed
-            )
+            return self.solver.eigenvalues(laplacian, t, warm=False)
         method = self._resolved_eigen_method()
         if method == "dense":
-            return bottom_eigenvalues(
-                self.stack.combine(weights), t, method="dense"
+            return self.solver.eigenvalues(
+                self.stack.combine(weights), t, method="dense", warm=False
             )
         return self._solve_prepared(
             self.stack.operator(weights)
@@ -170,17 +175,12 @@ class SpectralObjective:
         )
 
     def _solve_prepared(self, laplacian, method: str) -> np.ndarray:
-        """Iterative eigensolve of an already-aggregated ``L(w)``."""
-        t = self.k + 1
-        if not self.warm_start:
-            return bottom_eigenvalues(
-                laplacian, t, method=method, seed=self.seed
-            )
-        values, vectors = bottom_eigenpairs(
-            laplacian, t, method=method, seed=self.seed, v0=self._warm_vectors
-        )
-        self._warm_vectors = vectors
-        return values
+        """Iterative eigensolve of an already-aggregated ``L(w)``.
+
+        The context supplies the warm-start Ritz block (and refreshes it
+        from this solve's vectors) when warm starting is enabled.
+        """
+        return self.solver.eigenvalues(laplacian, self.k + 1, method=method)
 
     # ------------------------------------------------------------------ #
 
@@ -195,6 +195,7 @@ class SpectralObjective:
         weights = check_weights(weights, r=self.r)
         key = self._cache_key(weights)
         if self._cache_enabled and key in self._cache:
+            self.solver.note_saved()
             return self._cache[key]
 
         eigenvalues = self._solve(weights)
@@ -235,8 +236,11 @@ class SpectralObjective:
         solved before the next is materialized), and warm-starts each
         eigensolve from the previous point in the batch (adjacent points —
         e.g. neighboring grid nodes of a surface sweep — have nearby
-        spectra).  The batch path always materializes data rows, so
-        ``matrix_free`` does not apply to it.
+        spectra).  When the solver context selects the ``batch`` backend,
+        each chunk is handed to its threaded, seed-shared ``solve_many``
+        in one call instead of the sequential warm-start chain.  The
+        batch path always materializes data rows, so ``matrix_free`` does
+        not apply to it.
 
         Returns ``(components, n_eigensolves)`` where ``n_eigensolves`` is
         the number of eigensolves actually performed for this batch (cache
@@ -268,17 +272,31 @@ class SpectralObjective:
                 data_rows = self.stack.combine_many(
                     weight_rows[start : start + chunk]
                 )
-                for row, (key, indices) in zip(
-                    data_rows, unique[start : start + chunk]
+                chunk_items = unique[start : start + chunk]
+                matrices = [self.stack.with_data(row) for row in data_rows]
+                if method == "batch":
+                    # Native batch path: one threaded, seed-shared call
+                    # for the whole chunk (repro.solvers.batch).
+                    solved = self.solver.solve_many(
+                        matrices, self.k + 1, want_vectors=False
+                    )
+                    value_rows = [values for values, _ in solved]
+                elif method == "dense":
+                    value_rows = [
+                        self.solver.eigenvalues(
+                            matrix, self.k + 1, method="dense", warm=False
+                        )
+                        for matrix in matrices
+                    ]
+                else:
+                    value_rows = [
+                        self._solve_prepared(matrix, method)
+                        for matrix in matrices
+                    ]
+                for eigenvalues, (key, indices) in zip(
+                    value_rows, chunk_items
                 ):
                     weights = points[indices[0]]
-                    matrix = self.stack.with_data(row)
-                    if method == "dense":
-                        eigenvalues = bottom_eigenvalues(
-                            matrix, self.k + 1, method="dense"
-                        )
-                    else:
-                        eigenvalues = self._solve_prepared(matrix, method)
                     self.n_evaluations += 1
                     n_solves += 1
                     component = self._components_from(weights, eigenvalues)
@@ -286,6 +304,7 @@ class SpectralObjective:
                         self._cache[key] = component
                     for i in indices:
                         results[i] = component
+        self.solver.note_saved(len(points) - n_solves)
         return list(results), n_solves
 
     def __call__(self, weights) -> float:

@@ -22,6 +22,7 @@ from repro.core.mvag import MVAG
 from repro.core.sgla import SGLAConfig
 from repro.embedding.netmf import _DENSE_NODE_LIMIT, netmf_from_laplacian
 from repro.embedding.sketchne import sketchne_embedding
+from repro.solvers import SolverContext
 from repro.utils.errors import ValidationError
 
 
@@ -59,6 +60,7 @@ def cluster_mvag(
     assign: str = "discretize",
     seed=0,
     fast_path: Optional[bool] = None,
+    solver: Optional[SolverContext] = None,
 ) -> ClusterOutput:
     """Cluster an MVAG end to end.
 
@@ -78,15 +80,19 @@ def cluster_mvag(
     fast_path:
         Optional override of ``config.fast_path`` (the stacked/warm-started
         objective evaluation path); ``None`` keeps the config's setting.
+    solver:
+        Optional shared :class:`repro.solvers.SolverContext` used by both
+        the integration and the clustering eigensolve, so the final
+        objective solve's Ritz block warm-starts the clustering stage.
     """
     if k is None:
         k = mvag.n_classes
     if k is None:
         raise ValidationError("k must be given for an unlabeled MVAG")
     config = _resolve_config(config, fast_path)
-    integration = integrate(mvag, k=k, method=method, config=config)
+    integration = integrate(mvag, k=k, method=method, config=config, solver=solver)
     labels = spectral_clustering(
-        integration.laplacian, k=k, assign=assign, seed=seed
+        integration.laplacian, k=k, assign=assign, seed=seed, solver=solver
     )
     return ClusterOutput(labels=labels, integration=integration)
 
@@ -100,6 +106,7 @@ def embed_mvag(
     backend: str = "auto",
     seed=0,
     fast_path: Optional[bool] = None,
+    solver: Optional[SolverContext] = None,
 ) -> EmbedOutput:
     """Embed an MVAG end to end.
 
@@ -113,21 +120,24 @@ def embed_mvag(
     fast_path:
         Optional override of ``config.fast_path`` (the stacked/warm-started
         objective evaluation path); ``None`` keeps the config's setting.
+    solver:
+        Optional shared :class:`repro.solvers.SolverContext` used by both
+        the integration and the embedding eigensolve.
     """
     if k is None:
         k = mvag.n_classes
     if k is None:
         raise ValidationError("k must be given for an unlabeled MVAG")
     config = _resolve_config(config, fast_path)
-    integration = integrate(mvag, k=k, method=method, config=config)
+    integration = integrate(mvag, k=k, method=method, config=config, solver=solver)
     laplacian = integration.laplacian
 
     if backend == "auto":
         backend = "netmf" if mvag.n_nodes <= min(_DENSE_NODE_LIMIT, 8000) else "sketchne"
     if backend == "netmf":
-        embedding = netmf_from_laplacian(laplacian, dim=dim, seed=seed)
+        embedding = netmf_from_laplacian(laplacian, dim=dim, seed=seed, solver=solver)
     elif backend == "sketchne":
-        embedding = sketchne_embedding(laplacian, dim=dim, seed=seed)
+        embedding = sketchne_embedding(laplacian, dim=dim, seed=seed, solver=solver)
     else:
         raise ValidationError(f"unknown embedding backend {backend!r}")
     return EmbedOutput(embedding=embedding, integration=integration, backend=backend)

@@ -20,6 +20,7 @@ from repro.core.laplacian import build_view_laplacians
 from repro.core.mvag import MVAG
 from repro.core.objective import SpectralObjective
 from repro.optim.driver import minimize_on_simplex
+from repro.solvers import SolverContext, SolverStats
 from repro.utils.errors import ValidationError
 
 InputLike = Union[MVAG, Sequence[sp.spmatrix]]
@@ -43,7 +44,13 @@ class SGLAConfig:
     knn_k:
         Neighbors for attribute-view KNN graphs (paper default 10).
     eigen_method:
-        Eigensolver dispatch (see :mod:`repro.core.eigen`).
+        Eigensolver dispatch (any :mod:`repro.solvers` registry key).
+    eigen_backend:
+        Alias for ``eigen_method`` matching the registry/CLI vocabulary;
+        when set (non-``None``) it wins over ``eigen_method``.
+    solver_workers:
+        Thread budget for the ``batch`` backend's concurrent solves
+        (``None`` uses the host core count).
     optimizer_backend:
         One of ``repro.optim.driver.BACKENDS``.
     rho_start:
@@ -74,6 +81,8 @@ class SGLAConfig:
     alpha_r: float = 0.05
     knn_k: int = 10
     eigen_method: str = "auto"
+    eigen_backend: Optional[str] = None
+    solver_workers: Optional[int] = None
     optimizer_backend: str = "trust-linear"
     rho_start: float = 0.25
     surrogate_max_evaluations: int = 200
@@ -91,6 +100,20 @@ class SGLAConfig:
             raise ValidationError(f"alpha_r must be >= 0, got {self.alpha_r}")
         if self.knn_k < 1:
             raise ValidationError(f"knn_k must be >= 1, got {self.knn_k}")
+
+    @property
+    def resolved_eigen_backend(self) -> str:
+        """The registry key the solvers will use."""
+        return self.eigen_backend or self.eigen_method
+
+    def make_solver(self) -> SolverContext:
+        """A fresh :class:`repro.solvers.SolverContext` for one run."""
+        return SolverContext(
+            method=self.resolved_eigen_backend,
+            seed=self.seed,
+            warm_start=self.warm_start,
+            max_workers=self.solver_workers,
+        )
 
 
 @dataclass
@@ -114,6 +137,9 @@ class SGLAResult:
         Whether the eps-termination criterion was met within ``t_max``.
     elapsed_seconds:
         Wall-clock time of ``fit``.
+    solver_stats:
+        Eigensolve counters of the run's :class:`~repro.solvers.
+        SolverContext` (``None`` for paths that performed no solves).
     """
 
     laplacian: sp.csr_matrix
@@ -123,6 +149,7 @@ class SGLAResult:
     n_objective_evaluations: int = 0
     converged: bool = False
     elapsed_seconds: float = 0.0
+    solver_stats: Optional[SolverStats] = None
 
 
 def prepare_laplacians(
@@ -173,20 +200,30 @@ class SGLA:
             )
         self.config = config
 
-    def fit(self, data: InputLike, k: Optional[int] = None) -> SGLAResult:
-        """Run Algorithm 1 and return the integrated Laplacian and weights."""
+    def fit(
+        self,
+        data: InputLike,
+        k: Optional[int] = None,
+        solver: Optional[SolverContext] = None,
+    ) -> SGLAResult:
+        """Run Algorithm 1 and return the integrated Laplacian and weights.
+
+        ``solver`` optionally shares a :class:`repro.solvers.SolverContext`
+        (warm-start blocks + statistics) with the caller; by default a
+        fresh context is built from the config.
+        """
         start = time.perf_counter()
         config = self.config
         laplacians, k = prepare_laplacians(data, k, config)
+        solver = solver or config.make_solver()
         objective = SpectralObjective(
             laplacians,
             k=k,
             gamma=config.gamma,
-            eigen_method=config.eigen_method,
             seed=config.seed,
             fast_path=config.fast_path,
             matrix_free=config.matrix_free,
-            warm_start=config.warm_start,
+            solver=solver,
         )
         outcome = minimize_on_simplex(
             objective,
@@ -207,4 +244,5 @@ class SGLA:
             n_objective_evaluations=objective.n_evaluations,
             converged=outcome.converged,
             elapsed_seconds=elapsed,
+            solver_stats=solver.stats,
         )

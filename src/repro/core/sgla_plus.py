@@ -29,6 +29,7 @@ from repro.core.sgla import InputLike, SGLAConfig, SGLAResult, prepare_laplacian
 from repro.core.surrogate import fit_surrogate
 from repro.optim.driver import minimize_on_simplex
 from repro.optim.simplex import project_to_simplex
+from repro.solvers import SolverContext
 from repro.utils.errors import ValidationError
 
 
@@ -86,6 +87,7 @@ class SGLAPlus:
         data: InputLike,
         k: Optional[int] = None,
         delta_samples: int = 0,
+        solver: Optional[SolverContext] = None,
     ) -> SGLAResult:
         """Run Algorithm 2.
 
@@ -99,19 +101,22 @@ class SGLAPlus:
         delta_samples:
             Offset on the number of weight-vector samples relative to the
             paper's ``r + 1`` (the Fig. 10 sweep); 0 reproduces the paper.
+        solver:
+            Optional shared :class:`repro.solvers.SolverContext`; a fresh
+            one is built from the config when omitted.
         """
         start = time.perf_counter()
         config = self.config
         laplacians, k = prepare_laplacians(data, k, config)
+        solver = solver or config.make_solver()
         objective = SpectralObjective(
             laplacians,
             k=k,
             gamma=config.gamma,
-            eigen_method=config.eigen_method,
             seed=config.seed,
             fast_path=config.fast_path,
             matrix_free=config.matrix_free,
-            warm_start=config.warm_start,
+            solver=solver,
         )
         r = objective.r
 
@@ -127,6 +132,7 @@ class SGLAPlus:
                 n_objective_evaluations=objective.n_evaluations,
                 converged=True,
                 elapsed_seconds=time.perf_counter() - start,
+                solver_stats=solver.stats,
             )
 
         # Lines 1-6: sample weight vectors, evaluate the true objective.
@@ -194,4 +200,5 @@ class SGLAPlus:
             n_objective_evaluations=objective.n_evaluations,
             converged=outcome.converged,
             elapsed_seconds=elapsed,
+            solver_stats=solver.stats,
         )

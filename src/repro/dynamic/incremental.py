@@ -6,8 +6,10 @@ the sparse eigensolve for the bottom ``k + 1`` eigenpairs of ``L(w)``.
 When ``L`` changes slightly — a new weight vector near the previous one, or
 a small batch of edge updates — the previous eigenvectors are an excellent
 subspace for the new bottom eigenspace.  :class:`WarmStartObjective`
-exploits that with LOBPCG seeded by the cached eigenvectors, falling back
-to a cold solve when no cache exists.
+exploits that through a :class:`repro.solvers.SolverContext` configured
+for the LOBPCG backend (which consumes warm-start Ritz blocks natively),
+falling back to the exact dense path on small problems via the registry's
+shared dispatch rule.
 """
 
 from __future__ import annotations
@@ -16,14 +18,12 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
-from repro.core.eigen import bottom_eigenpairs
 from repro.core.laplacian import aggregate_laplacians
+from repro.solvers import SolverContext, bottom_eigenpairs
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_weights
 
-_SPECTRUM_UPPER_BOUND = 2.0
 _EIGENGAP_FLOOR = 1e-12
 
 
@@ -33,8 +33,9 @@ class WarmStartObjective:
     Functionally equivalent to :class:`repro.core.objective.
     SpectralObjective` (same ``h(w)`` value up to solver tolerance), but
     successive evaluations reuse the previous eigenvector block as the
-    LOBPCG initial subspace.  Tracks solver iteration counts so the warm-
-    start benefit is measurable (see the lazy-update ablation bench).
+    LOBPCG initial subspace.  The owning :class:`~repro.solvers.
+    SolverContext` tracks solve and matvec counts so the warm-start
+    benefit is measurable (see the lazy-update ablation bench).
 
     Parameters
     ----------
@@ -45,6 +46,10 @@ class WarmStartObjective:
         As in the static objective.
     tol:
         LOBPCG residual tolerance.
+    solver:
+        Optional externally-owned context; by default a LOBPCG context is
+        created (small problems fall back to dense via the registry's
+        dispatch rule, where warm starting has nothing to accelerate).
     """
 
     def __init__(
@@ -54,6 +59,7 @@ class WarmStartObjective:
         gamma: float = 0.5,
         tol: float = 1e-7,
         seed=0,
+        solver: Optional[SolverContext] = None,
     ) -> None:
         if len(laplacians) == 0:
             raise ValidationError("need at least one view Laplacian")
@@ -68,14 +74,30 @@ class WarmStartObjective:
         self.tol = float(tol)
         self.seed = seed
         self.n_evaluations = 0
-        self.n_warm_evaluations = 0
-        self.total_lobpcg_iterations = 0
-        self._cached_vectors: Optional[np.ndarray] = None
+        if solver is None:
+            solver = SolverContext(
+                method="lobpcg", tol=tol, seed=seed, maxiter=100, warm_start=True
+            )
+        self.solver = solver
 
     @property
     def r(self) -> int:
         """Number of views."""
         return len(self.laplacians)
+
+    @property
+    def n_warm_evaluations(self) -> int:
+        """Eigensolves that started from a cached Ritz block."""
+        return self.solver.stats.warm_solves
+
+    @property
+    def total_solver_matvecs(self) -> int:
+        """Operator applications across all eigensolves (the quantity
+        warm starting reduces)."""
+        return self.solver.stats.matvecs
+
+    # Backward-compatible alias (pre-registry name; counts matvecs now).
+    total_lobpcg_iterations = total_solver_matvecs
 
     def set_laplacians(self, laplacians: Sequence[sp.spmatrix]) -> None:
         """Swap in updated view Laplacians (keeps the eigenvector cache —
@@ -88,57 +110,42 @@ class WarmStartObjective:
 
     def invalidate_cache(self) -> None:
         """Drop the warm-start eigenvector cache."""
-        self._cached_vectors = None
+        self.solver.invalidate()
 
     # ------------------------------------------------------------------ #
 
+    def _cold_solve(self, laplacian, t: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact cold solve (machine-precision ``auto`` dispatch, no
+        iteration cap — the context's LOBPCG-tuned settings do not apply)
+        whose Ritz block is donated to the context for later warm solves."""
+        values, vectors = bottom_eigenpairs(
+            laplacian, t, method="auto", seed=self.seed
+        )
+        self.solver.seed_block(vectors)
+        return values, vectors
+
     def _solve(self, laplacian: sp.csr_matrix) -> Tuple[np.ndarray, np.ndarray]:
         t = self.k + 1
-        n = laplacian.shape[0]
-        if self._cached_vectors is None or n <= max(4 * t, 64):
-            values, vectors = bottom_eigenpairs(
-                laplacian, t, method="auto", seed=self.seed
-            )
-            return values, vectors
-
-        guess = self._cached_vectors
+        if self.solver.warm_block(laplacian.shape[0]) is None:
+            # No cached subspace yet: a cold LOBPCG run from a random
+            # block can exit its iteration cap unconverged (scipy only
+            # warns), so the first evaluation uses the exact path.
+            return self._cold_solve(laplacian, t)
         try:
-            values, vectors, residuals = _lobpcg_with_history(
-                laplacian, guess, tol=self.tol
-            )
-            self.n_warm_evaluations += 1
-            self.total_lobpcg_iterations += residuals
-            order = np.argsort(values)
-            return (
-                np.clip(values[order], 0.0, _SPECTRUM_UPPER_BOUND),
-                vectors[:, order],
-            )
+            return self.solver.eigenpairs(laplacian, t)
         except Exception:
-            # Warm start failed (rare numerical breakdown): cold solve.
-            return bottom_eigenpairs(laplacian, t, method="auto", seed=self.seed)
+            # Warm start failed (rare numerical breakdown).
+            self.solver.invalidate()
+            return self._cold_solve(laplacian, t)
 
     def __call__(self, weights) -> float:
         """Evaluate ``h(w)`` with warm-started eigensolves."""
         weights = check_weights(weights, r=self.r)
         laplacian = aggregate_laplacians(self.laplacians, weights)
-        values, vectors = self._solve(laplacian)
-        self._cached_vectors = np.asarray(vectors)
+        values, _ = self._solve(laplacian)
         self.n_evaluations += 1
         lambda_2 = float(values[1]) if values.size > 1 else 0.0
         lambda_k = float(values[self.k - 1])
         lambda_k1 = float(values[self.k])
         eigengap = lambda_k / max(lambda_k1, _EIGENGAP_FLOOR)
         return eigengap - lambda_2 + self.gamma * float(np.dot(weights, weights))
-
-
-def _lobpcg_with_history(laplacian, guess, tol):
-    """LOBPCG returning an iteration count alongside the eigenpairs."""
-    values, vectors, residual_history = spla.lobpcg(
-        laplacian,
-        guess,
-        largest=False,
-        tol=tol,
-        maxiter=100,
-        retResidualNormsHistory=True,
-    )
-    return np.asarray(values), np.asarray(vectors), len(residual_history)

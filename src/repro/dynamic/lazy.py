@@ -28,6 +28,7 @@ from repro.core.sgla import SGLAConfig
 from repro.core.sgla_plus import SGLAPlus
 from repro.dynamic.incremental import WarmStartObjective
 from repro.dynamic.stream import DynamicMVAG
+from repro.solvers import SolverContext
 from repro.utils.errors import NotFittedError, ValidationError
 
 
@@ -55,11 +56,16 @@ class LazySGLA:
     drift_threshold:
         Relative objective-change threshold above which the weights are
         re-optimized (default 10%).
+    solver:
+        Optional shared :class:`repro.solvers.SolverContext` reused by
+        every (re)fit, so successive re-optimizations warm-start from the
+        previous stream state; built from ``config`` when omitted.
     """
 
     k: int
     config: SGLAConfig = field(default_factory=SGLAConfig)
     drift_threshold: float = 0.10
+    solver: Optional[SolverContext] = None
 
     def __post_init__(self) -> None:
         if self.drift_threshold < 0:
@@ -73,8 +79,10 @@ class LazySGLA:
 
     def fit(self, dynamic: DynamicMVAG) -> "LazySGLA":
         """Initial fit on the current state of ``dynamic``."""
+        if self.solver is None:
+            self.solver = self.config.make_solver()
         laplacians = dynamic.view_laplacians()
-        result = SGLAPlus(self.config).fit(laplacians, k=self.k)
+        result = SGLAPlus(self.config).fit(laplacians, k=self.k, solver=self.solver)
         self.weights = result.weights
         self.reference_value = result.objective_value
         self._objective = WarmStartObjective(
@@ -103,7 +111,9 @@ class LazySGLA:
 
         refitted = False
         if drift > self.drift_threshold:
-            result = SGLAPlus(self.config).fit(laplacians, k=self.k)
+            result = SGLAPlus(self.config).fit(
+                laplacians, k=self.k, solver=self.solver
+            )
             self.weights = result.weights
             self.reference_value = result.objective_value
             current_value = result.objective_value

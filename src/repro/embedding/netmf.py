@@ -22,11 +22,13 @@ datasets where the paper itself uses NetMF (SketchNE covers the rest).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.eigen import bottom_eigenpairs
 from repro.core.laplacian import normalized_laplacian
+from repro.solvers import SolverContext, solve_bottom
 from repro.embedding.svd import randomized_svd
 from repro.utils.errors import ValidationError
 from repro.utils.sparse import degree_vector, ensure_csr, sparse_identity
@@ -81,6 +83,7 @@ def netmf_embedding(
     negative: float = 1.0,
     rank: int = 256,
     seed=0,
+    solver: Optional[SolverContext] = None,
 ) -> np.ndarray:
     """NetMF embedding of a plain (single-view) graph.
 
@@ -96,6 +99,9 @@ def netmf_embedding(
         Negative sampling parameter ``b``.
     rank:
         Eigenpairs used in the spectral approximation of ``M``.
+    solver:
+        Optional shared :class:`repro.solvers.SolverContext` for the
+        eigensolve.
     """
     adjacency = ensure_csr(adjacency)
     n = adjacency.shape[0]
@@ -111,7 +117,7 @@ def netmf_embedding(
         raise ValidationError("graph has no edges; cannot embed")
     laplacian = normalized_laplacian(adjacency)
     rank = min(rank, n - 1)
-    values, vectors = bottom_eigenpairs(laplacian, rank, seed=seed)
+    values, vectors = solve_bottom(laplacian, rank, solver=solver, seed=seed)
     adjacency_eigs = 1.0 - values  # spectrum of D^-1/2 A D^-1/2
 
     filtered = _window_filter(adjacency_eigs, window)
@@ -131,6 +137,7 @@ def netmf_from_laplacian(
     negative: float = 1.0,
     rank: int = 256,
     seed=0,
+    solver: Optional[SolverContext] = None,
 ) -> np.ndarray:
     """NetMF on an integrated MVAG Laplacian (the paper's embedding path).
 
@@ -147,7 +154,7 @@ def netmf_from_laplacian(
         )
     dim = check_embedding_dim(dim, n)
     rank = min(rank, n - 1)
-    values, vectors = bottom_eigenpairs(laplacian, rank, seed=seed)
+    values, vectors = solve_bottom(laplacian, rank, solver=solver, seed=seed)
     s_eigs = np.clip(1.0 - values, -1.0, 1.0)
     filtered = np.clip(_window_filter(s_eigs, window), 0.0, None)
     m_matrix = (float(n) / negative) * (vectors * filtered[None, :]) @ vectors.T

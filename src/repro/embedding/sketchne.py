@@ -18,11 +18,13 @@ Cost is one sparse eigensolve plus ``O(n * rank)`` memory.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-from repro.core.eigen import bottom_eigenpairs
 from repro.embedding.netmf import _window_filter
 from repro.embedding.svd import randomized_svd
+from repro.solvers import SolverContext, solve_bottom
 from repro.utils.sparse import ensure_csr
 from repro.utils.validation import check_embedding_dim
 
@@ -35,6 +37,7 @@ def sketchne_embedding(
     eigen_method: str = "auto",
     normalize: bool = True,
     seed=0,
+    solver: Optional[SolverContext] = None,
 ) -> np.ndarray:
     """Scalable spectral-propagation embedding of an integrated Laplacian.
 
@@ -50,14 +53,17 @@ def sketchne_embedding(
         Number of eigenpairs retained (``rank >= dim``).
     normalize:
         L2-normalize embedding rows (improves downstream linear models).
+    solver:
+        Optional shared :class:`repro.solvers.SolverContext` (overrides
+        ``eigen_method``).
     """
     laplacian = ensure_csr(laplacian)
     n = laplacian.shape[0]
     dim = check_embedding_dim(dim, n)
     rank = int(min(max(rank, dim), n - 1))
 
-    values, vectors = bottom_eigenpairs(
-        laplacian, rank, method=eigen_method, seed=seed
+    values, vectors = solve_bottom(
+        laplacian, rank, solver=solver, method=eigen_method, seed=seed
     )
     s_eigs = np.clip(1.0 - values, -1.0, 1.0)
     filtered = np.clip(_window_filter(s_eigs, window), 0.0, None)

@@ -8,9 +8,11 @@ reimplemented baselines.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-from repro.core.eigen import bottom_eigenpairs
+from repro.solvers import SolverContext, solve_bottom
 from repro.utils.sparse import ensure_csr
 from repro.utils.validation import check_embedding_dim
 
@@ -22,14 +24,21 @@ def spectral_node_embedding(
     normalize: bool = True,
     eigen_method: str = "auto",
     seed=0,
+    solver: Optional[SolverContext] = None,
 ) -> np.ndarray:
-    """Embed nodes with the bottom ``dim`` non-trivial Laplacian eigenvectors."""
+    """Embed nodes with the bottom ``dim`` non-trivial Laplacian eigenvectors.
+
+    ``solver`` optionally routes the eigensolve through a shared
+    :class:`repro.solvers.SolverContext` instead of the one-shot path.
+    """
     laplacian = ensure_csr(laplacian)
     n = laplacian.shape[0]
     dim = check_embedding_dim(dim, n)
     extra = 1 if drop_first else 0
     count = min(dim + extra, n)
-    _, vectors = bottom_eigenpairs(laplacian, count, method=eigen_method, seed=seed)
+    _, vectors = solve_bottom(
+        laplacian, count, solver=solver, method=eigen_method, seed=seed
+    )
     embedding = vectors[:, extra:count]
     if embedding.shape[1] < dim:
         padding = np.zeros((n, dim - embedding.shape[1]))

@@ -1,0 +1,146 @@
+"""Problem/result model shared by every spectral-solver backend.
+
+A backend receives a fully *prepared* :class:`EigenProblem` — the operand
+has already been validated (square, CSR for matrix inputs), ``t`` clamped,
+and the backend choice settled by the dispatch policy
+(:func:`repro.solvers.registry.resolve_method`).  Backends therefore only
+implement numerics; validation and routing live in one place.
+
+Iterative backends wrap their operand in :class:`MatvecCounter` so every
+solve reports how many operator applications it consumed.  The counter
+performs the *same* floating-point operations scipy would (``A @ x``), so
+wrapping never changes results — it only makes warm-start savings and
+backend comparisons measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+SPECTRUM_UPPER_BOUND = 2.0
+
+
+@dataclass
+class EigenProblem:
+    """One bottom-eigenpair solve request.
+
+    Attributes
+    ----------
+    operand:
+        The (validated) symmetric PSD matrix — CSR — or matrix-free
+        ``LinearOperator`` with spectrum in ``[0, 2]``.
+    t:
+        Number of requested eigenpairs (already clamped to ``n``).
+    tol:
+        Solver tolerance (0 means machine precision where supported).
+    seed:
+        Seed for deterministic iterative start vectors.
+    maxiter:
+        Optional iteration cap for iterative backends.
+    v0:
+        Optional warm start: an ``(n,)`` vector or ``(n, m)`` Ritz block
+        from a previous, nearby solve.
+    want_vectors:
+        When ``False`` the backend may skip Ritz-vector assembly and
+        return ``vectors=None``.
+    """
+
+    operand: object
+    t: int
+    tol: float = 0.0
+    seed: object = None
+    maxiter: Optional[int] = None
+    v0: Optional[np.ndarray] = None
+    want_vectors: bool = True
+
+    @property
+    def n(self) -> int:
+        """Problem dimension."""
+        return self.operand.shape[0]
+
+    @property
+    def is_operator(self) -> bool:
+        """Whether the operand is matrix-free."""
+        return isinstance(self.operand, spla.LinearOperator)
+
+    def with_v0(self, v0: Optional[np.ndarray]) -> "EigenProblem":
+        """A copy of this problem seeded with ``v0`` (keeps an explicit
+        caller-provided warm start if one is already set)."""
+        if self.v0 is not None:
+            return self
+        return replace(self, v0=v0)
+
+
+@dataclass
+class EigenResult:
+    """Outcome of one backend solve.
+
+    ``values`` are the bottom eigenvalues ascending, clipped to the
+    Laplacian spectrum range; ``vectors`` are column-aligned (or ``None``
+    for values-only solves); ``matvecs`` counts operator applications
+    (0 for direct solvers).
+    """
+
+    values: np.ndarray
+    vectors: Optional[np.ndarray]
+    backend: str
+    matvecs: int = 0
+
+    @property
+    def pair(self):
+        """``(values, vectors)`` — the legacy tuple shape."""
+        return self.values, self.vectors
+
+
+class MatvecCounter(spla.LinearOperator):
+    """Transparent operator wrapper counting matvec-equivalents.
+
+    Block applications of width ``m`` count as ``m`` matvecs, so counts
+    are comparable between Lanczos (vector) and LOBPCG (block) backends.
+    """
+
+    def __init__(self, operand) -> None:
+        super().__init__(dtype=np.float64, shape=operand.shape)
+        self._operand = operand
+        self.count = 0
+
+    def _matvec(self, x):
+        self.count += 1
+        return self._operand @ x
+
+    def _rmatvec(self, x):
+        self.count += 1
+        return self._operand @ x  # symmetric operands throughout
+
+    def _matmat(self, x):
+        self.count += int(x.shape[1])
+        return self._operand @ x
+
+
+class EigenBackend:
+    """Base class for registered spectral-solver backends.
+
+    Subclasses set ``name`` and implement :meth:`solve`.  Backends must be
+    stateless with respect to individual solves (safe to share across
+    threads); per-run state such as warm-start blocks belongs to
+    :class:`repro.solvers.context.SolverContext`.
+    """
+
+    #: registry key; subclasses override.
+    name: str = ""
+    #: whether the backend accepts matrix-free ``LinearOperator`` operands.
+    supports_operator: bool = True
+
+    def solve(self, problem: EigenProblem) -> EigenResult:
+        raise NotImplementedError
+
+    def solve_many(self, problems: List[EigenProblem]) -> List[EigenResult]:
+        """Solve a batch of problems; sequential unless overridden."""
+        return [self.solve(problem) for problem in problems]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,312 @@
+"""SolverContext — per-run solver state: warm starts, policy, statistics.
+
+A :class:`SolverContext` is what call sites thread through the pipeline
+instead of ad-hoc ``eigen_method`` strings.  It owns the three things a
+bare registry lookup cannot:
+
+* **warm-start Ritz blocks**, keyed by problem size, reused across every
+  solve the context performs (optimizer steps move weights slightly, so
+  consecutive spectra are close — the blocks cut iteration counts);
+* **dispatch policy** — the backend choice plus an optional per-run dense
+  cutoff override, resolved through the one shared
+  :func:`repro.solvers.registry.resolve_method` rule;
+* **statistics** — eigensolves performed and saved, warm/cold split, and
+  matvec counts, so warm-start and batching benefits are measurable
+  end to end.
+
+One context is meant to live for one logical run (one ``fit``, one
+pipeline invocation) and may be shared across its stages: the objective's
+final solve near ``w*`` leaves a Ritz block that then warm-starts the
+clustering/embedding eigensolve on ``L(w*)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.solvers.api import validate_operand
+from repro.solvers.base import EigenProblem, EigenResult
+from repro.solvers.batch import BatchedBackend
+from repro.solvers.registry import get_backend, resolve_method
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated by one :class:`SolverContext`.
+
+    ``saved`` counts eigensolves that *would* have run but were avoided by
+    a caller-side cache or dedup (callers report them via
+    :meth:`SolverContext.note_saved`); ``matvecs`` aggregates operator
+    applications across iterative solves, the quantity warm starting
+    actually reduces.
+    """
+
+    solves: int = 0
+    saved: int = 0
+    warm_solves: int = 0
+    cold_solves: int = 0
+    batched_solves: int = 0
+    matvecs: int = 0
+    by_backend: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, result: EigenResult, warm: bool, batched: bool = False) -> None:
+        self.solves += 1
+        self.matvecs += result.matvecs
+        if warm:
+            self.warm_solves += 1
+        else:
+            self.cold_solves += 1
+        if batched:
+            self.batched_solves += 1
+        self.by_backend[result.backend] = (
+            self.by_backend.get(result.backend, 0) + 1
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable digest (used by the CLI)."""
+        backends = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.by_backend.items())
+        )
+        return (
+            f"{self.solves} eigensolves ({self.saved} saved, "
+            f"{self.warm_solves} warm-started, {self.matvecs} matvecs; "
+            f"{backends or 'none'})"
+        )
+
+
+class SolverContext:
+    """Shared spectral-solver state for one run.
+
+    Parameters
+    ----------
+    method:
+        ``"auto"`` or a registered backend key; the per-problem dispatch
+        still applies the shared fallback rules (dense below the cutoff,
+        ARPACK/lobpcg size constraints).
+    tol, seed, maxiter:
+        Passed to every solve (determinism comes from ``seed``).
+    warm_start:
+        Reuse each solve's Ritz block to seed the next solve of the same
+        problem size.  Never changes tolerances, so accuracy is identical
+        to cold starts.
+    dense_cutoff:
+        Optional per-run override of the ``"auto"`` dense/iterative
+        boundary (:data:`repro.solvers.registry.DENSE_CUTOFF`).
+    max_workers:
+        Thread budget for :meth:`solve_many` when the ``batch`` backend is
+        selected.
+    """
+
+    def __init__(
+        self,
+        method: str = "auto",
+        tol: float = 0.0,
+        seed=0,
+        maxiter: Optional[int] = None,
+        warm_start: bool = True,
+        dense_cutoff: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.method = method
+        self.tol = float(tol)
+        self.seed = seed
+        self.maxiter = maxiter
+        self.warm_start = bool(warm_start)
+        self.dense_cutoff = dense_cutoff
+        self.max_workers = max_workers
+        self.stats = SolverStats()
+        self._warm_blocks: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Policy
+    # ------------------------------------------------------------------ #
+
+    def resolve(
+        self, n: int, t: int, method: Optional[str] = None, is_operator: bool = False
+    ) -> str:
+        """The backend this context will run for an ``(n, t)`` problem."""
+        method = method or self.method
+        if method == "auto" and self.dense_cutoff is not None:
+            method = (
+                "dense"
+                if (n <= self.dense_cutoff and not is_operator)
+                else "lanczos"
+            )
+        return resolve_method(n, t, method, is_operator=is_operator)
+
+    # ------------------------------------------------------------------ #
+    # Warm-start blocks
+    # ------------------------------------------------------------------ #
+
+    def warm_block(self, n: int) -> Optional[np.ndarray]:
+        """The cached Ritz block for problems of size ``n`` (or None)."""
+        return self._warm_blocks.get(n)
+
+    def seed_block(self, vectors: Optional[np.ndarray]) -> None:
+        """Install an externally computed Ritz block as the warm start.
+
+        Lets callers that solved outside the context (e.g. an exact cold
+        solve at machine precision) donate the block that subsequent
+        context solves warm-start from.  No-op when warm starting is off.
+        """
+        if vectors is None or not self.warm_start:
+            return
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim == 2 and vectors.shape[0] >= 1:
+            self._warm_blocks[vectors.shape[0]] = vectors
+
+    def invalidate(self) -> None:
+        """Drop all cached warm-start blocks (keeps statistics)."""
+        self._warm_blocks.clear()
+
+    def note_saved(self, count: int = 1) -> None:
+        """Record ``count`` eigensolves avoided by a caller-side cache."""
+        self.stats.saved += int(count)
+
+    # ------------------------------------------------------------------ #
+    # Solves
+    # ------------------------------------------------------------------ #
+
+    def _problem(
+        self, operand, t: int, want_vectors: bool, warm: bool
+    ) -> Tuple[EigenProblem, bool]:
+        v0 = self._warm_blocks.get(operand.shape[0]) if warm else None
+        problem = EigenProblem(
+            operand,
+            t,
+            tol=self.tol,
+            seed=self.seed,
+            maxiter=self.maxiter,
+            v0=v0,
+            want_vectors=want_vectors,
+        )
+        return problem, v0 is not None
+
+    def _finish(self, result: EigenResult, warm_used: bool, batched: bool = False):
+        if result.vectors is not None and self.warm_start:
+            self._warm_blocks[result.vectors.shape[0]] = result.vectors
+        self.stats.record(result, warm=warm_used, batched=batched)
+        return result
+
+    def _one_solve(
+        self,
+        laplacian,
+        t: int,
+        method: Optional[str],
+        *,
+        want_vectors: Optional[bool] = None,
+        warm: Optional[bool] = None,
+    ) -> EigenResult:
+        """Single derivation point for the warm/want_vectors coupling.
+
+        ``want_vectors=None`` means "only if a warm block will be
+        refreshed": warm-starting solves assemble Ritz vectors so the
+        *next* solve is cheap, everything else may use the backend's
+        values-only path.
+        """
+        operand, n, t, is_operator = validate_operand(laplacian, t)
+        resolved = self.resolve(n, t, method=method, is_operator=is_operator)
+        use_warm = self.warm_start if warm is None else bool(warm)
+        if want_vectors is None:
+            want_vectors = use_warm
+        # The dense backend ignores start vectors entirely; don't fetch a
+        # block for it (and never count such a solve as warm-started).
+        use_warm = use_warm and resolved != "dense"
+        problem, warm_used = self._problem(operand, t, want_vectors, use_warm)
+        return self._finish(get_backend(resolved).solve(problem), warm_used)
+
+    def eigenpairs(
+        self,
+        laplacian,
+        t: int,
+        method: Optional[str] = None,
+        warm: Optional[bool] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Bottom ``t`` eigenpairs, warm-started from this context's state."""
+        result = self._one_solve(
+            laplacian, t, method, want_vectors=True, warm=warm
+        )
+        return result.values, result.vectors
+
+    def eigenvalues(
+        self,
+        laplacian,
+        t: int,
+        method: Optional[str] = None,
+        warm: Optional[bool] = None,
+    ) -> np.ndarray:
+        """Bottom ``t`` eigenvalues (Ritz vectors are still assembled when
+        they will refresh the warm block — see :meth:`_one_solve`)."""
+        return self._one_solve(laplacian, t, method, warm=warm).values
+
+    def fiedler_value(self, laplacian, method: Optional[str] = None) -> float:
+        """``lambda_2`` through this context (eigenvalues-only path)."""
+        values = self.eigenvalues(laplacian, 2, method=method, warm=False)
+        if values.shape[0] < 2:
+            return 0.0
+        return float(values[1])
+
+    def solve_many(
+        self,
+        laplacians: Sequence,
+        t: int,
+        method: Optional[str] = None,
+        want_vectors: bool = True,
+    ) -> List[Tuple[np.ndarray, Optional[np.ndarray]]]:
+        """Solve a batch of related Laplacians.
+
+        When the resolved backend exposes a native batch path (the
+        ``batch`` backend), the whole list is handed over in one call —
+        threaded, with shared warm-start seeding.  Any other backend runs
+        sequentially with this context's usual warm-start chaining.
+        """
+        if not len(laplacians):
+            return []
+        validated = [
+            validate_operand(laplacian, t) for laplacian in laplacians
+        ]
+        first_operand, n, first_t, is_operator = validated[0]
+        resolved = self.resolve(n, first_t, method=method, is_operator=is_operator)
+        backend = get_backend(resolved)
+        if isinstance(backend, BatchedBackend):
+            seed_block = self._warm_blocks.get(n) if self.warm_start else None
+            problems = []
+            for operand, _, t_eff, _ in validated:
+                problem, _ = self._problem(operand, t_eff, want_vectors, False)
+                problems.append(problem.with_v0(seed_block))
+            results = backend.solve_many(
+                problems,
+                max_workers=self.max_workers,
+                share_seed=self.warm_start,
+            )
+            out = []
+            for index, result in enumerate(results):
+                warm_used = problems[index].v0 is not None or (
+                    self.warm_start and index > 0
+                )
+                # The seed result carries its Ritz block even for values-
+                # only requests; _finish keeps it as the warm block and
+                # the returned pair honors the caller's want_vectors.
+                # Attribute the solve to the batch path in the stats
+                # (the raw result names only the inner backend).
+                self._finish(
+                    replace(result, backend=f"batch[{result.backend}]"),
+                    warm_used,
+                    batched=True,
+                )
+                out.append(
+                    (result.values, result.vectors if want_vectors else None)
+                )
+            return out
+        out = []
+        for operand, _, t_eff, _ in validated:
+            pair = (
+                self.eigenpairs(operand, t_eff, method=method)
+                if want_vectors
+                else (self.eigenvalues(operand, t_eff, method=method), None)
+            )
+            out.append(pair)
+        return out

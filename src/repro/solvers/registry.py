@@ -1,0 +1,102 @@
+"""String-keyed backend registry and the single dispatch policy.
+
+Every eigensolve in the repository routes through this registry: call
+sites name a backend (``"dense"``, ``"lanczos"``, ``"lobpcg"``,
+``"shift-invert"``, ``"batch"``, or ``"auto"``), and
+:func:`resolve_method` settles what actually runs for a given problem
+size.  Adding a solver — a GPU offload, a Chebyshev filter, a sharded
+remote backend — is one :func:`register_backend` call; no call site
+changes.
+
+Dispatch rules (single source of truth — callers that plan around the
+dispatch must use :func:`resolve_method` rather than re-deriving it):
+
+* ``"auto"`` picks ``dense`` at or below :data:`DENSE_CUTOFF` (Lanczos
+  for matrix-free operands, which cannot be densified cheaply);
+* iterative methods fall back to ``dense`` when ARPACK's ``t < n - 1``
+  requirement is violated;
+* ``lobpcg`` falls back to ``dense`` whenever the block is large relative
+  to the problem (``5 t >= n``, scipy's documented minimum ratio) —
+  previously each caller had to guard this separately;
+* ``shift-invert`` needs a factorizable matrix, so matrix-free operands
+  reroute to ``lanczos``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.solvers.base import EigenBackend
+from repro.utils.errors import ValidationError
+
+#: "auto" uses the exact dense solver at or below this many nodes.
+DENSE_CUTOFF = 600
+
+#: scipy's lobpcg wants the problem at least this many times the block size.
+LOBPCG_MIN_RATIO = 5
+
+#: methods that run an iterative solver (directly or via an inner backend).
+_ITERATIVE = ("lanczos", "lobpcg", "shift-invert", "batch")
+
+_REGISTRY: Dict[str, EigenBackend] = {}
+
+
+def register_backend(backend: EigenBackend, overwrite: bool = False) -> EigenBackend:
+    """Register ``backend`` under its ``name`` key.
+
+    Raises :class:`ValidationError` for empty names or duplicate
+    registrations unless ``overwrite`` is set (useful for swapping in an
+    instrumented or accelerator-specific implementation).
+    """
+    name = getattr(backend, "name", "")
+    if not name or not isinstance(name, str):
+        raise ValidationError(
+            f"backend must define a non-empty string name, got {name!r}"
+        )
+    if name in _REGISTRY and not overwrite:
+        raise ValidationError(
+            f"backend {name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (no-op if absent); used by tests and plugins."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> EigenBackend:
+    """Look up a backend by key; unknown keys list what is available."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown eigensolver backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Sorted registry keys."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_method(n: int, t: int, method: str, is_operator: bool = False) -> str:
+    """The backend actually used for an ``n x n`` problem with ``t`` pairs.
+
+    Accepts any registered backend name plus ``"auto"``; unknown names
+    pass through so :func:`get_backend` can report them with the list of
+    alternatives.
+    """
+    if method == "auto":
+        method = "dense" if (n <= DENSE_CUTOFF and not is_operator) else "lanczos"
+    if method == "shift-invert" and is_operator:
+        method = "lanczos"
+    if method == "lobpcg" and LOBPCG_MIN_RATIO * t >= n:
+        method = "dense"
+    # eigsh requires t < n; fall back to the exact dense path otherwise.
+    if method in _ITERATIVE and t >= n - 1:
+        method = "dense"
+    return method
