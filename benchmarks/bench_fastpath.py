@@ -12,7 +12,9 @@ Measures the two layers of the objective fast path (DESIGN.md §6):
 Runs as a pytest benchmark (``pytest benchmarks/bench_fastpath.py``) or as
 a plain script; ``python benchmarks/bench_fastpath.py --smoke`` executes a
 reduced matrix suitable as a CI perf smoke check (exits nonzero if the
-aggregation floor is missed).
+aggregation floor is missed).  Results are written under
+``benchmarks/results/`` as both ``.txt`` tables and machine-readable
+``.json`` (``--json`` echoes the JSON to stdout).
 """
 
 from __future__ import annotations
@@ -28,7 +30,7 @@ sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 import numpy as np
 import scipy.sparse as sp
 
-from harness import emit, format_table
+from harness import emit, emit_json, format_table
 from repro.core.fastpath import StackedLaplacians
 from repro.core.laplacian import aggregate_laplacians, normalized_laplacian
 from repro.core.objective import SpectralObjective, objective_surface
@@ -133,7 +135,7 @@ def bench_surface(n=800, seed=0):
     }
 
 
-def run(smoke: bool = False, capsys=None) -> bool:
+def run(smoke: bool = False, capsys=None, echo_json: bool = False) -> bool:
     """Run the benchmark matrix; returns True when all floors are met."""
     agg_sizes = [5000] if smoke else [2000, 5000, 10000, 20000]
     profiles = [
@@ -188,10 +190,37 @@ def run(smoke: bool = False, capsys=None) -> bool:
         f"{surface_stats['seconds']:.2f}s"
     )
 
-    emit(
-        "fastpath" + ("_smoke" if smoke else ""),
-        agg_table + "\n" + e2e_table + surface_text,
-        capsys,
+    name = "fastpath" + ("_smoke" if smoke else "")
+    emit(name, agg_table + "\n" + e2e_table + surface_text, capsys)
+    emit_json(
+        name,
+        {
+            "mode": "smoke" if smoke else "full",
+            "aggregation": [
+                {
+                    "n": n,
+                    "r": r,
+                    "legacy_ms": legacy,
+                    "stacked_ms": fast,
+                    "speedup": speedup,
+                }
+                for n, r, legacy, fast, speedup in agg_rows
+            ],
+            "end_to_end": [
+                {
+                    "profile": label,
+                    "solver": solver_name,
+                    "legacy_s": legacy,
+                    "fast_s": fast,
+                    "speedup": speedup,
+                    "evaluations": evals,
+                }
+                for label, solver_name, legacy, fast, speedup, evals
+                in e2e_rows
+            ],
+            "surface": surface_stats,
+        },
+        echo=echo_json,
     )
 
     ok = True
@@ -225,4 +254,5 @@ def test_fastpath(benchmark, capsys):
 
 if __name__ == "__main__":
     smoke = "--smoke" in sys.argv
-    sys.exit(0 if run(smoke=smoke) else 1)
+    echo_json = "--json" in sys.argv
+    sys.exit(0 if run(smoke=smoke, echo_json=echo_json) else 1)

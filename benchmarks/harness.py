@@ -13,6 +13,7 @@ survive pytest's capture into ``bench_output.txt``) and also written under
 
 from __future__ import annotations
 
+import json
 import time
 from functools import lru_cache
 from pathlib import Path
@@ -196,3 +197,38 @@ def emit(name: str, text: str, capsys=None) -> None:
         print(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays so json.dumps accepts them."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return _jsonable(value.tolist())
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
+
+
+def emit_json(name: str, payload: dict, echo: bool = False) -> dict:
+    """Persist a benchmark's machine-readable results.
+
+    Writes ``benchmarks/results/<name>.json`` alongside the plain-text
+    table :func:`emit` produces, so the perf trajectory (speedups, matvec
+    counts, wall seconds) is trackable across PRs and diffable in
+    review.  ``echo`` additionally prints the JSON to stdout (the bench
+    scripts' ``--json`` flag).  Returns the JSON-clean payload.
+    """
+    payload = _jsonable(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    (RESULTS_DIR / f"{name}.json").write_text(text + "\n")
+    if echo:  # pragma: no cover - direct script usage
+        print(text)
+    return payload

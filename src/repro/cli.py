@@ -103,7 +103,15 @@ def _add_solver_args(subparser) -> None:
         "--solver-workers",
         type=int,
         default=None,
-        help="thread budget for the 'batch' backend (default: core count)",
+        help="thread budget for the 'batch' backend and the KNN graph "
+        "build (default: core count)",
+    )
+    subparser.add_argument(
+        "--tol-ladder",
+        action="store_true",
+        help="adaptive-precision eigensolving: tie the eigensolve "
+        "tolerance to the optimizer's trust radius (coarse early, exact "
+        "final re-evaluation)",
     )
 
 
@@ -115,6 +123,7 @@ def _solver_config(args, **extra) -> SGLAConfig:
         knn_k=args.knn_k,
         eigen_backend=backend,
         solver_workers=args.solver_workers,
+        tol_ladder=args.tol_ladder,
         **extra,
     )
 

@@ -14,7 +14,7 @@ from typing import Optional
 
 from repro.cluster.discretize import discretize
 from repro.cluster.kmeans import kmeans
-from repro.solvers import SolverContext, solve_bottom
+from repro.solvers import SolverContext, canonicalize_signs, solve_bottom
 from repro.utils.errors import ValidationError
 
 
@@ -46,7 +46,10 @@ def spectral_embedding_matrix(
     _, vectors = solve_bottom(
         laplacian, k + extra, solver=solver, method=eigen_method, seed=seed
     )
-    return vectors[:, extra : k + extra]
+    # Sign-canonicalized so the discretization's local rotation search
+    # sees the same embedding regardless of solver warm-start history
+    # (e.g. a tolerance-ladder run vs a fixed-tolerance run).
+    return canonicalize_signs(vectors[:, extra : k + extra])
 
 
 def spectral_clustering(

@@ -61,12 +61,14 @@ def build_view_laplacians(
     mvag: MVAG,
     knn_k: int = 10,
     knn_block_size: int = 2048,
+    workers=None,
 ) -> List[sp.csr_matrix]:
     """Compute the ``r`` view Laplacians of an MVAG (paper Section III-B).
 
     Graph views map to their normalized Laplacian; attribute views map to
     the normalized Laplacian of their cosine KNN graph with ``K = knn_k``
-    neighbors.
+    neighbors.  ``workers`` (from ``SGLAConfig.solver_workers``) enables
+    the KNN build's concurrent similarity blocks — bit-identical output.
 
     Returns the Laplacians in paper order: graph views first, then
     attribute views.
@@ -74,7 +76,12 @@ def build_view_laplacians(
     laplacians = [normalized_laplacian(a) for a in mvag.graph_views]
     laplacians.extend(
         normalized_laplacian(
-            knn_graph(features, k=knn_k, block_size=knn_block_size)
+            knn_graph(
+                features,
+                k=knn_k,
+                block_size=knn_block_size,
+                workers=workers,
+            )
         )
         for features in mvag.attribute_views
     )

@@ -44,6 +44,44 @@ from repro.utils.validation import check_weights
 # with more than k connected components under some weighting).
 _EIGENGAP_FLOOR = 1e-12
 
+#: ladder tolerances at or below this are snapped to the backend default
+#: (0 = machine precision where supported).
+LADDER_TIGHT_TOL = 1e-8
+
+#: eigensolve tolerance of the ladder's coarsest rung (at ``rho_start``).
+LADDER_COARSE_TOL = 1e-5
+
+
+def ladder_tolerance(
+    rho: float,
+    rho_start: float,
+    rho_end: float,
+    coarse_tol: float = LADDER_COARSE_TOL,
+    tight_tol: float = LADDER_TIGHT_TOL,
+) -> float:
+    """Map a trust radius to an eigensolve tolerance (the rho→tol rung).
+
+    Geometric interpolation on the log scale: ``coarse_tol`` at
+    ``rho_start``, tightening as the radius contracts, snapping to the
+    backend default (0) once the interpolant reaches ``tight_tol`` —
+    i.e. as ``rho → rho_end`` (the paper's ``eps``).  Rationale: a
+    trust-region step is accepted on an objective *difference* of order
+    ``rho * |gradient|``, so while the radius is large an eigensolve
+    error well below that difference cannot change the accept/reject
+    decision — precision beyond it is wasted matvecs.
+    """
+    if rho_end <= 0 or rho_start <= rho_end:
+        return 0.0
+    if rho >= rho_start:
+        return float(coarse_tol)
+    if rho <= rho_end:
+        return 0.0
+    frac = (np.log(rho) - np.log(rho_end)) / (
+        np.log(rho_start) - np.log(rho_end)
+    )
+    tol = tight_tol * (coarse_tol / tight_tol) ** frac
+    return float(tol) if tol > tight_tol else 0.0
+
 
 @dataclass(frozen=True)
 class ObjectiveComponents:
@@ -127,8 +165,15 @@ class SpectralObjective:
         self.eigen_method = solver.method
         self.warm_start = solver.warm_start
         self._cache_enabled = bool(cache)
-        self._cache: Dict[Tuple[int, ...], ObjectiveComponents] = {}
+        # key -> (eigensolve tolerance the entry was computed at, value);
+        # entries are only served when at least as tight as the current
+        # target, so the ladder never reuses stale coarse values after
+        # the trust region has tightened (see _cache_lookup).
+        self._cache: Dict[
+            Tuple[int, ...], Tuple[float, ObjectiveComponents]
+        ] = {}
         self._stack: Optional[StackedLaplacians] = None
+        self._ladder: Optional[Tuple[float, float, float]] = None
         self.n_evaluations = 0  # distinct (uncached) eigensolve evaluations
 
     @property
@@ -183,6 +228,55 @@ class SpectralObjective:
         return self.solver.eigenvalues(laplacian, self.k + 1, method=method)
 
     # ------------------------------------------------------------------ #
+    # Adaptive-precision tolerance ladder (DESIGN.md §8)
+    # ------------------------------------------------------------------ #
+
+    def enable_tolerance_ladder(
+        self,
+        rho_start: float,
+        rho_end: float,
+        coarse_tol: float = LADDER_COARSE_TOL,
+    ) -> None:
+        """Couple this objective's eigensolve tolerance to the optimizer.
+
+        Once enabled, :meth:`set_trust_radius` (wired as the optimizer's
+        ``rho_listener``) retargets the shared solver context through
+        :func:`ladder_tolerance` — coarse at ``rho_start``, backend
+        default as ``rho → rho_end``.  Callers must finish a ladder run
+        with :meth:`evaluate_exact` on the incumbent so the reported
+        optimum is computed at full precision.
+        """
+        self._ladder = (float(rho_start), float(rho_end), float(coarse_tol))
+        self.solver.set_tolerance(
+            ladder_tolerance(rho_start, *self._ladder)
+        )
+
+    def set_trust_radius(self, rho: float) -> None:
+        """Optimizer hook: adapt eigensolve precision to the radius.
+
+        No-op unless :meth:`enable_tolerance_ladder` was called, so it is
+        always safe to wire as ``rho_listener``.
+        """
+        if self._ladder is None:
+            return
+        self.solver.set_tolerance(ladder_tolerance(rho, *self._ladder))
+
+    def evaluate_exact(self, weights) -> ObjectiveComponents:
+        """Evaluate ``h(w)`` at the backend-default (full) precision.
+
+        Drops any cached (possibly coarse) value for ``weights`` first
+        and leaves the solver context at full precision, so everything
+        downstream of the optimizer — the final aggregation, clustering,
+        embedding — runs exact.  This is the ladder's exactness
+        guarantee: whatever precision the search ran at, the reported
+        ``h(w*)`` is a fresh full-precision eigensolve.
+        """
+        weights = check_weights(weights, r=self.r)
+        self.solver.set_tolerance(0.0)
+        self._cache.pop(self._cache_key(weights), None)
+        return self.components(weights)
+
+    # ------------------------------------------------------------------ #
 
     def aggregate(self, weights) -> sp.csr_matrix:
         """The MVAG Laplacian ``L(w)`` for the given weights (Eq. 1)."""
@@ -190,19 +284,43 @@ class SpectralObjective:
             return self.stack.aggregate(check_weights(weights, r=self.r))
         return aggregate_laplacians(self.laplacians, weights)
 
+    def _cache_lookup(self, key) -> Optional[ObjectiveComponents]:
+        """A cached value, but only if computed at least as tight as the
+        current solver tolerance (0 = machine precision, the tightest).
+
+        Serving a coarse entry after the ladder has tightened would pit
+        stale 1e-5-error values against fresh near-exact ones in the
+        optimizer's accept/reject comparisons; instead such entries are
+        recomputed (and overwritten) at the tighter target.
+        """
+        if not self._cache_enabled:
+            return None
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        entry_tol, components = entry
+        current = self.solver.tol
+        if entry_tol == 0.0 or (current > 0.0 and entry_tol <= current):
+            return components
+        return None
+
+    def _cache_store(self, key, components: ObjectiveComponents) -> None:
+        if self._cache_enabled:
+            self._cache[key] = (self.solver.tol, components)
+
     def components(self, weights) -> ObjectiveComponents:
         """Evaluate ``h(w)`` and return the full component breakdown."""
         weights = check_weights(weights, r=self.r)
         key = self._cache_key(weights)
-        if self._cache_enabled and key in self._cache:
+        cached = self._cache_lookup(key)
+        if cached is not None:
             self.solver.note_saved()
-            return self._cache[key]
+            return cached
 
         eigenvalues = self._solve(weights)
         self.n_evaluations += 1
         result = self._components_from(weights, eigenvalues)
-        if self._cache_enabled:
-            self._cache[key] = result
+        self._cache_store(key, result)
         return result
 
     def _components_from(
@@ -251,8 +369,9 @@ class SpectralObjective:
         pending: Dict[Tuple[int, ...], List[int]] = {}
         for i, weights in enumerate(points):
             key = self._cache_key(weights)
-            if self._cache_enabled and key in self._cache:
-                results[i] = self._cache[key]
+            cached = self._cache_lookup(key)
+            if cached is not None:
+                results[i] = cached
             else:
                 pending.setdefault(key, []).append(i)
 
@@ -300,8 +419,7 @@ class SpectralObjective:
                     self.n_evaluations += 1
                     n_solves += 1
                     component = self._components_from(weights, eigenvalues)
-                    if self._cache_enabled:
-                        self._cache[key] = component
+                    self._cache_store(key, component)
                     for i in indices:
                         results[i] = component
         self.solver.note_saved(len(points) - n_solves)

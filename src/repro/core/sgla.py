@@ -18,7 +18,7 @@ import scipy.sparse as sp
 
 from repro.core.laplacian import build_view_laplacians
 from repro.core.mvag import MVAG
-from repro.core.objective import SpectralObjective
+from repro.core.objective import LADDER_COARSE_TOL, SpectralObjective
 from repro.optim.driver import minimize_on_simplex
 from repro.solvers import SolverContext, SolverStats
 from repro.utils.errors import ValidationError
@@ -73,6 +73,18 @@ class SGLAConfig:
         With ``fast_path``, seed each iterative eigensolve with the
         previous evaluation's Ritz vectors; disable to isolate warm-start
         effects or to force cold starts on pathological spectra.
+    tol_ladder:
+        Adaptive-precision eigensolving (DESIGN.md §8): map the
+        optimizer's current trust radius to the eigensolve tolerance —
+        coarse at ``rho_start``, backend default as the radius reaches
+        ``eps`` — and re-evaluate the incumbent at full precision at the
+        end, so the reported ``h(w*)`` is exact.  Saves matvecs on every
+        early optimizer iteration with (empirically) unchanged ``w*``.
+        For SGLA the ladder requires the ``trust-linear`` optimizer (the
+        only backend that maintains a radius) and is ignored otherwise;
+        SGLA+ uses it for its sampling stage regardless of optimizer.
+    ladder_coarse_tol:
+        Eigensolve tolerance of the ladder's coarsest rung.
     """
 
     gamma: float = 0.5
@@ -90,6 +102,8 @@ class SGLAConfig:
     fast_path: bool = True
     matrix_free: bool = False
     warm_start: bool = True
+    tol_ladder: bool = False
+    ladder_coarse_tol: float = LADDER_COARSE_TOL
 
     def __post_init__(self) -> None:
         if self.eps <= 0:
@@ -100,6 +114,11 @@ class SGLAConfig:
             raise ValidationError(f"alpha_r must be >= 0, got {self.alpha_r}")
         if self.knn_k < 1:
             raise ValidationError(f"knn_k must be >= 1, got {self.knn_k}")
+        if self.ladder_coarse_tol <= 0:
+            raise ValidationError(
+                f"ladder_coarse_tol must be positive, "
+                f"got {self.ladder_coarse_tol}"
+            )
 
     @property
     def resolved_eigen_backend(self) -> str:
@@ -162,7 +181,9 @@ def prepare_laplacians(
     ``k`` defaults to the MVAG's label count when available.
     """
     if isinstance(data, MVAG):
-        laplacians = build_view_laplacians(data, knn_k=config.knn_k)
+        laplacians = build_view_laplacians(
+            data, knn_k=config.knn_k, workers=config.solver_workers
+        )
         if k is None:
             k = data.n_classes
         if k is None:
@@ -225,6 +246,20 @@ class SGLA:
             matrix_free=config.matrix_free,
             solver=solver,
         )
+        # The ladder follows the trust radius, which only the trust-linear
+        # optimizer maintains; other backends would run their *entire*
+        # search at the coarse rung, so the ladder is disabled for them
+        # rather than silently degrading the result.
+        use_ladder = (
+            config.tol_ladder
+            and config.optimizer_backend == "trust-linear"
+        )
+        prior_tol = solver.tol
+        if use_ladder:
+            objective.enable_tolerance_ladder(
+                config.rho_start, config.eps,
+                coarse_tol=config.ladder_coarse_tol,
+            )
         outcome = minimize_on_simplex(
             objective,
             r=objective.r,
@@ -233,13 +268,25 @@ class SGLA:
             rho_end=config.eps,
             max_evaluations=config.t_max,
             seed=config.seed,
+            rho_listener=(
+                objective.set_trust_radius if use_ladder else None
+            ),
         )
+        value = outcome.value
+        if use_ladder:
+            # Exactness guarantee: the search may have run coarse, but the
+            # reported optimum is a fresh full-precision evaluation; the
+            # shared solver context is then restored to the caller's
+            # configured tolerance (the default 0 = full precision) for
+            # the clustering / embedding stages that follow.
+            value = objective.evaluate_exact(outcome.weights).value
+            solver.set_tolerance(prior_tol)
         laplacian = objective.aggregate(outcome.weights)
         elapsed = time.perf_counter() - start
         return SGLAResult(
             laplacian=laplacian,
             weights=outcome.weights,
-            objective_value=outcome.value,
+            objective_value=value,
             history=outcome.history,
             n_objective_evaluations=objective.n_evaluations,
             converged=outcome.converged,

@@ -138,7 +138,13 @@ class SGLAPlus:
         # Lines 1-6: sample weight vectors, evaluate the true objective.
         # The whole sample set goes through the batched fast path: one
         # GEMM aggregates every L(w_l), and consecutive eigensolves warm-
-        # start each other.
+        # start each other.  With the tolerance ladder the samples only
+        # feed a quadratic surrogate whose fit error dwarfs eigensolve
+        # noise, so they run at the ladder's coarse rung; the candidate
+        # safeguard below then runs at full precision.
+        prior_tol = solver.tol
+        if config.tol_ladder:
+            solver.set_tolerance(config.ladder_coarse_tol)
         if delta_samples == 0:
             samples = interpolation_samples(r)
         else:
@@ -173,6 +179,10 @@ class SGLAPlus:
         #      gradient already contained in the samples (see
         #      _gradient_candidates);
         #   3. the best sampled point itself.
+        if config.tol_ladder:
+            # Candidate safeguarding compares objective values directly,
+            # so it runs at full precision from here on.
+            solver.set_tolerance(0.0)
         candidates = [outcome.weights]
         if delta_samples == 0:
             candidates.extend(_gradient_candidates(samples, sample_values, r))
@@ -185,11 +195,27 @@ class SGLAPlus:
                 best_weights = candidate
                 best_value = value
         best_sample_index = int(np.argmin(sample_values))
-        if sample_values[best_sample_index] < best_value:
+        best_sample_value = sample_values[best_sample_index]
+        if config.tol_ladder:
+            # The samples were scored at the coarse rung; a ~1e-5 solve
+            # error must not let one outrank an exactly-evaluated
+            # candidate, so the front-runner is re-scored at full
+            # precision (the tolerance-tagged cache refuses its coarse
+            # entry) before the comparison.
+            best_sample_value = objective(samples[best_sample_index])
+            history.append((samples[best_sample_index], best_sample_value))
+        if best_sample_value < best_value:
             best_weights = samples[best_sample_index]
-            best_value = sample_values[best_sample_index]
+            best_value = best_sample_value
         weights = best_weights
         value = best_value
+        if config.tol_ladder:
+            # The chosen incumbent may carry a coarse cached value (e.g.
+            # a sampled point); report a fresh full-precision h(w*),
+            # then hand the shared context back at the caller's
+            # configured tolerance.
+            value = objective.evaluate_exact(weights).value
+            solver.set_tolerance(prior_tol)
         laplacian = objective.aggregate(weights)
         elapsed = time.perf_counter() - start
         return SGLAResult(

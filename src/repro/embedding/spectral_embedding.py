@@ -12,7 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.solvers import SolverContext, solve_bottom
+from repro.solvers import SolverContext, canonicalize_signs, solve_bottom
 from repro.utils.sparse import ensure_csr
 from repro.utils.validation import check_embedding_dim
 
@@ -39,7 +39,9 @@ def spectral_node_embedding(
     _, vectors = solve_bottom(
         laplacian, count, solver=solver, method=eigen_method, seed=seed
     )
-    embedding = vectors[:, extra:count]
+    # Sign-canonicalized: persisted embeddings must not depend on the
+    # solver's warm-start history (eigenvectors are sign-ambiguous).
+    embedding = canonicalize_signs(vectors[:, extra:count])
     if embedding.shape[1] < dim:
         padding = np.zeros((n, dim - embedding.shape[1]))
         embedding = np.hstack([embedding, padding])

@@ -85,8 +85,16 @@ class LinearTrustRegion:
         func: Callable[[np.ndarray], float],
         x0,
         callback: Optional[Callable[[np.ndarray, float], None]] = None,
+        rho_callback: Optional[Callable[[float], None]] = None,
     ) -> dict:
         """Minimize ``func`` over the capped simplex starting at ``x0``.
+
+        ``rho_callback``, when given, is invoked with the current trust
+        radius before the initial vertex evaluations and again before
+        every iteration's objective calls.  It is the hook the
+        tolerance ladder uses: the objective maps the radius to an
+        eigensolve tolerance, so evaluations far from convergence run
+        coarse and tighten only as the radius contracts.
 
         Returns a dict with keys ``x``, ``fun``, ``n_evaluations``,
         ``n_iterations``, ``converged`` and ``history``.
@@ -104,6 +112,8 @@ class LinearTrustRegion:
                 "history": [(x0.copy(), 0.0)],
             }
 
+        if rho_callback is not None:
+            rho_callback(self.rho_start)
         state = self._initialize(func, x0, dim)
         n_iterations = 0
         converged = False
@@ -112,6 +122,8 @@ class LinearTrustRegion:
             if state.rho < self.rho_end:
                 converged = True
                 break
+            if rho_callback is not None:
+                rho_callback(state.rho)
             improved = self._step(func, state, dim)
             best_idx = int(np.argmin(state.values))
             if callback is not None:

@@ -53,6 +53,7 @@ def minimize_on_simplex(
     max_evaluations: int = 200,
     seed=0,
     callback: Optional[Callable[[np.ndarray, float], None]] = None,
+    rho_listener: Optional[Callable[[float], None]] = None,
 ) -> OptimizerResult:
     """Minimize ``func(w)`` over the probability simplex in ``R^r``.
 
@@ -75,6 +76,17 @@ def minimize_on_simplex(
         Determinism seed for stochastic backend internals.
     callback:
         Called with ``(best_weights, best_value)`` after each improvement.
+    rho_listener:
+        Called with the optimizer's current trust radius ``rho`` before
+        the objective evaluations that run at that radius.  This is how
+        the adaptive-precision tolerance ladder sees the optimizer's
+        progress (:meth:`repro.core.objective.SpectralObjective.
+        set_trust_radius`).  Only the ``trust-linear`` backend maintains
+        an explicit radius; the other backends emit ``rho_start`` once
+        and never tighten, which is why ``SGLA.fit`` only couples the
+        tolerance ladder to ``trust-linear`` — direct callers wiring a
+        listener to another backend must tighten (and re-evaluate)
+        themselves.
     """
     if r < 1:
         raise ValidationError(f"r must be >= 1, got {r}")
@@ -118,8 +130,15 @@ def minimize_on_simplex(
             max_evaluations=max_evaluations,
             seed=seed,
         )
-        raw = optimizer.minimize(reduced_func, reduced0, callback=reduced_callback)
+        raw = optimizer.minimize(
+            reduced_func,
+            reduced0,
+            callback=reduced_callback,
+            rho_callback=rho_listener,
+        )
     elif backend == "nelder-mead":
+        if rho_listener is not None:
+            rho_listener(rho_start)
         raw = nelder_mead_simplex(
             reduced_func,
             reduced0,
@@ -128,6 +147,8 @@ def minimize_on_simplex(
             max_evaluations=max_evaluations,
         )
     else:  # scipy-cobyla
+        if rho_listener is not None:
+            rho_listener(rho_start)
         raw = _scipy_cobyla(
             reduced_func, reduced0, rho_start, rho_end, max_evaluations
         )

@@ -1,8 +1,8 @@
-"""Pluggable spectral-solver subsystem (DESIGN.md §7).
+"""Pluggable spectral-solver subsystem (DESIGN.md §7–8).
 
 Every eigensolve in the repository routes through this package: a
 string-keyed **backend registry** (``dense``, ``lanczos``, ``lobpcg``,
-``shift-invert``, ``batch``), a shared dispatch policy
+``shift-invert``, ``chebyshev``, ``batch``), a shared dispatch policy
 (:func:`resolve_method`), stateless one-shot entry points
 (:func:`bottom_eigenpairs` / :func:`bottom_eigenvalues` /
 :func:`fiedler_value`), and a :class:`SolverContext` that carries
@@ -39,8 +39,10 @@ from repro.solvers.base import (
     EigenProblem,
     EigenResult,
     MatvecCounter,
+    canonicalize_signs,
 )
 from repro.solvers.batch import BatchedBackend, default_workers
+from repro.solvers.chebyshev import ChebyshevBackend
 from repro.solvers.context import SolverContext, SolverStats
 from repro.solvers.registry import (
     DENSE_CUTOFF,
@@ -53,6 +55,7 @@ from repro.solvers.registry import (
 
 __all__ = [
     "BatchedBackend",
+    "ChebyshevBackend",
     "DENSE_CUTOFF",
     "EigenBackend",
     "EigenProblem",
@@ -64,6 +67,7 @@ __all__ = [
     "available_backends",
     "bottom_eigenpairs",
     "bottom_eigenvalues",
+    "canonicalize_signs",
     "default_workers",
     "fiedler_value",
     "get_backend",

@@ -16,6 +16,7 @@ import scipy.sparse.linalg as spla
 
 import repro.solvers.backends  # noqa: F401  — registers the built-ins
 import repro.solvers.batch  # noqa: F401  — registers the batch backend
+import repro.solvers.chebyshev  # noqa: F401  — registers the filtered backend
 from repro.solvers.base import EigenProblem
 from repro.solvers.registry import get_backend, resolve_method
 from repro.utils.errors import ValidationError

@@ -15,9 +15,12 @@ All backends compute the *bottom* of a symmetric PSD spectrum contained in
   exists); converges in very few iterations on tightly clustered bottom
   spectra where plain Lanczos stalls.
 
-These are the only modules in the repository allowed to call
-``scipy.linalg.eigh`` / ``eigsh`` / ``lobpcg`` directly — everything else
-goes through the registry (:mod:`repro.solvers.registry`).
+The Chebyshev-filtered block backend lives in its own module
+(:mod:`repro.solvers.chebyshev`) — it is scipy-free numerics on top of
+:mod:`repro.core.lanczos`.  Together these are the only modules in the
+repository allowed to call ``scipy.linalg.eigh`` / ``eigsh`` / ``lobpcg``
+directly — everything else goes through the registry
+(:mod:`repro.solvers.registry`).
 """
 
 from __future__ import annotations

@@ -16,7 +16,7 @@ backend comparisons measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse.linalg as spla
@@ -47,6 +47,11 @@ class EigenProblem:
     want_vectors:
         When ``False`` the backend may skip Ritz-vector assembly and
         return ``vectors=None``.
+    interval:
+        Optional ``(lower, upper)`` spectral-interval hint from a
+        previous nearby solve; backends that estimate the interval
+        (``chebyshev``) may start from it instead of spending matvecs
+        re-deriving it, as long as they guard against drift.
     """
 
     operand: object
@@ -56,6 +61,7 @@ class EigenProblem:
     maxiter: Optional[int] = None
     v0: Optional[np.ndarray] = None
     want_vectors: bool = True
+    interval: Optional[Tuple[float, float]] = None
 
     @property
     def n(self) -> int:
@@ -74,6 +80,16 @@ class EigenProblem:
             return self
         return replace(self, v0=v0)
 
+    def with_tol(self, tol: float) -> "EigenProblem":
+        """A copy of this problem retargeted to tolerance ``tol``.
+
+        The tolerance-ladder plumbing: batch/driver code that prepared a
+        problem at one precision can cheaply re-issue it at another (e.g.
+        the final full-precision re-evaluation of an incumbent solved
+        coarsely during early trust-region iterations).
+        """
+        return replace(self, tol=float(tol))
+
 
 @dataclass
 class EigenResult:
@@ -82,18 +98,50 @@ class EigenResult:
     ``values`` are the bottom eigenvalues ascending, clipped to the
     Laplacian spectrum range; ``vectors`` are column-aligned (or ``None``
     for values-only solves); ``matvecs`` counts operator applications
-    (0 for direct solvers).
+    (0 for direct solvers).  Block backends may additionally expose
+    ``ritz_block`` — their full internal subspace basis (wanted pairs
+    *plus* guard columns), which is a strictly better warm start for the
+    next nearby solve than the wanted vectors alone; consumers
+    (:class:`repro.solvers.context.SolverContext`, the ``batch``
+    backend's shared seeding) prefer it over ``vectors`` when present.
     """
 
     values: np.ndarray
     vectors: Optional[np.ndarray]
     backend: str
     matvecs: int = 0
+    ritz_block: Optional[np.ndarray] = None
+    #: the (lower, upper) spectral-interval estimate this solve derived
+    #: or validated — reusable as the next nearby solve's hint.
+    spectral_interval: Optional[Tuple[float, float]] = None
+
+    @property
+    def warm_block(self) -> Optional[np.ndarray]:
+        """The best block to seed a subsequent nearby solve with."""
+        return self.ritz_block if self.ritz_block is not None else self.vectors
 
     @property
     def pair(self):
         """``(values, vectors)`` — the legacy tuple shape."""
         return self.values, self.vectors
+
+
+def canonicalize_signs(vectors: np.ndarray) -> np.ndarray:
+    """Fix each eigenvector's sign so its largest-|entry| is positive.
+
+    Eigenvectors are only defined up to sign, and which sign a solver
+    returns depends on its start vector — so two runs that differ only in
+    warm-start history (e.g. a tolerance-ladder run vs a fixed-tolerance
+    run reaching the same ``L(w*)``) would otherwise hand downstream
+    consumers (discretization, k-means, embedding files) differently
+    reflected columns.  Canonicalizing makes each column a function of
+    the eigenspace alone (up to exact |entry| ties).
+    """
+    columns = np.arange(vectors.shape[1])
+    anchor = np.argmax(np.abs(vectors), axis=0)
+    signs = np.sign(vectors[anchor, columns])
+    signs[signs == 0] = 1.0
+    return vectors * signs
 
 
 class MatvecCounter(spla.LinearOperator):

@@ -31,6 +31,7 @@ from repro.solvers.api import validate_operand
 from repro.solvers.base import EigenProblem, EigenResult
 from repro.solvers.batch import BatchedBackend
 from repro.solvers.registry import get_backend, resolve_method
+from repro.utils.errors import ValidationError
 
 
 @dataclass
@@ -50,9 +51,20 @@ class SolverStats:
     cold_solves: int = 0
     batched_solves: int = 0
     matvecs: int = 0
+    #: solves performed at a relaxed (> 0) tolerance — the ladder's
+    #: coarse stages; the complement ran at the backend default.
+    coarse_solves: int = 0
+    #: tolerance changes applied via SolverContext.set_tolerance.
+    tolerance_updates: int = 0
     by_backend: Dict[str, int] = field(default_factory=dict)
 
-    def record(self, result: EigenResult, warm: bool, batched: bool = False) -> None:
+    def record(
+        self,
+        result: EigenResult,
+        warm: bool,
+        batched: bool = False,
+        coarse: bool = False,
+    ) -> None:
         self.solves += 1
         self.matvecs += result.matvecs
         if warm:
@@ -61,6 +73,8 @@ class SolverStats:
             self.cold_solves += 1
         if batched:
             self.batched_solves += 1
+        if coarse:
+            self.coarse_solves += 1
         self.by_backend[result.backend] = (
             self.by_backend.get(result.backend, 0) + 1
         )
@@ -70,10 +84,13 @@ class SolverStats:
         backends = ", ".join(
             f"{name}={count}" for name, count in sorted(self.by_backend.items())
         )
+        coarse = (
+            f", {self.coarse_solves} coarse" if self.coarse_solves else ""
+        )
         return (
             f"{self.solves} eigensolves ({self.saved} saved, "
-            f"{self.warm_solves} warm-started, {self.matvecs} matvecs; "
-            f"{backends or 'none'})"
+            f"{self.warm_solves} warm-started{coarse}, "
+            f"{self.matvecs} matvecs; {backends or 'none'})"
         )
 
 
@@ -119,6 +136,10 @@ class SolverContext:
         self.max_workers = max_workers
         self.stats = SolverStats()
         self._warm_blocks: Dict[int, np.ndarray] = {}
+        # Spectral-interval estimates keyed like the warm blocks; saves
+        # the chebyshev backend its per-solve Lanczos interval run on
+        # warm-started chains (the backend guards against drift).
+        self._intervals: Dict[int, Tuple[float, float]] = {}
 
     # ------------------------------------------------------------------ #
     # Policy
@@ -159,8 +180,30 @@ class SolverContext:
             self._warm_blocks[vectors.shape[0]] = vectors
 
     def invalidate(self) -> None:
-        """Drop all cached warm-start blocks (keeps statistics)."""
+        """Drop all cached warm-start state (keeps statistics)."""
         self._warm_blocks.clear()
+        self._intervals.clear()
+
+    # ------------------------------------------------------------------ #
+    # Target tolerance (the trust-region ladder's knob)
+    # ------------------------------------------------------------------ #
+
+    def set_tolerance(self, tol: float) -> None:
+        """Retarget every subsequent solve to tolerance ``tol``.
+
+        ``0`` restores the backend default (machine precision where
+        supported).  This is the mutable knob the trust-region tolerance
+        ladder turns as the optimizer's radius shrinks: coarse solves far
+        from convergence, backend-default solves near it.  Warm-start
+        blocks are kept — a block converged at a loose tolerance is still
+        an excellent start for a tighter solve of the same operator.
+        """
+        tol = float(tol)
+        if tol < 0:
+            raise ValidationError(f"tolerance must be >= 0, got {tol}")
+        if tol != self.tol:
+            self.tol = tol
+            self.stats.tolerance_updates += 1
 
     def note_saved(self, count: int = 1) -> None:
         """Record ``count`` eigensolves avoided by a caller-side cache."""
@@ -182,13 +225,26 @@ class SolverContext:
             maxiter=self.maxiter,
             v0=v0,
             want_vectors=want_vectors,
+            interval=(
+                self._intervals.get(operand.shape[0]) if warm else None
+            ),
         )
         return problem, v0 is not None
 
     def _finish(self, result: EigenResult, warm_used: bool, batched: bool = False):
-        if result.vectors is not None and self.warm_start:
-            self._warm_blocks[result.vectors.shape[0]] = result.vectors
-        self.stats.record(result, warm=warm_used, batched=batched)
+        block = result.warm_block
+        if block is not None and self.warm_start:
+            self._warm_blocks[block.shape[0]] = block
+            if result.spectral_interval is not None:
+                self._intervals[block.shape[0]] = result.spectral_interval
+            else:
+                # The backend could not vouch for an interval (hint was
+                # found stale, or the backend does not estimate one);
+                # drop ours so the next solve re-estimates fresh.
+                self._intervals.pop(block.shape[0], None)
+        self.stats.record(
+            result, warm=warm_used, batched=batched, coarse=self.tol > 0
+        )
         return result
 
     def _one_solve(

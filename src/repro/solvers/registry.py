@@ -2,7 +2,7 @@
 
 Every eigensolve in the repository routes through this registry: call
 sites name a backend (``"dense"``, ``"lanczos"``, ``"lobpcg"``,
-``"shift-invert"``, ``"batch"``, or ``"auto"``), and
+``"shift-invert"``, ``"chebyshev"``, ``"batch"``, or ``"auto"``), and
 :func:`resolve_method` settles what actually runs for a given problem
 size.  Adding a solver — a GPU offload, a Chebyshev filter, a sharded
 remote backend — is one :func:`register_backend` call; no call site
@@ -15,9 +15,10 @@ dispatch must use :func:`resolve_method` rather than re-deriving it):
   for matrix-free operands, which cannot be densified cheaply);
 * iterative methods fall back to ``dense`` when ARPACK's ``t < n - 1``
   requirement is violated;
-* ``lobpcg`` falls back to ``dense`` whenever the block is large relative
-  to the problem (``5 t >= n``, scipy's documented minimum ratio) —
-  previously each caller had to guard this separately;
+* the block solvers ``lobpcg`` and ``chebyshev`` fall back to ``dense``
+  whenever the block is large relative to the problem (``5 t >= n``,
+  scipy's documented minimum lobpcg ratio) — previously each caller had
+  to guard this separately;
 * ``shift-invert`` needs a factorizable matrix, so matrix-free operands
   reroute to ``lanczos``.
 """
@@ -36,7 +37,7 @@ DENSE_CUTOFF = 600
 LOBPCG_MIN_RATIO = 5
 
 #: methods that run an iterative solver (directly or via an inner backend).
-_ITERATIVE = ("lanczos", "lobpcg", "shift-invert", "batch")
+_ITERATIVE = ("lanczos", "lobpcg", "shift-invert", "batch", "chebyshev")
 
 _REGISTRY: Dict[str, EigenBackend] = {}
 
@@ -94,7 +95,9 @@ def resolve_method(n: int, t: int, method: str, is_operator: bool = False) -> st
         method = "dense" if (n <= DENSE_CUTOFF and not is_operator) else "lanczos"
     if method == "shift-invert" and is_operator:
         method = "lanczos"
-    if method == "lobpcg" and LOBPCG_MIN_RATIO * t >= n:
+    if method in ("lobpcg", "chebyshev") and LOBPCG_MIN_RATIO * t >= n:
+        # Block solvers need the block small relative to the problem;
+        # tiny problems are cheaper (and exact) on the dense path anyway.
         method = "dense"
     # eigsh requires t < n; fall back to the exact dense path otherwise.
     if method in _ITERATIVE and t >= n - 1:

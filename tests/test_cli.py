@@ -63,6 +63,16 @@ class TestClusterCommand:
         assert code == 0
         assert "view weights" not in capsys.readouterr().out
 
+    def test_chebyshev_backend_and_tol_ladder(self, capsys):
+        code = main(
+            ["cluster", "rm", "--method", "sgla",
+             "--eigen-backend", "chebyshev", "--tol-ladder"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "view weights" in out
+        assert "eigensolves" in out  # solver stats line
+
 
 class TestEmbedCommand:
     def test_embed_profile(self, tmp_path, capsys):

@@ -91,6 +91,56 @@ class TestSparseDenseAgreement:
         np.testing.assert_allclose(whole.toarray(), blocked.toarray(), atol=1e-10)
 
 
+class TestThreadedBlocks:
+    """The concurrent block GEMMs must be bit-identical to serial."""
+
+    def test_dense_bit_identical(self):
+        rng = np.random.default_rng(8)
+        features = rng.standard_normal((300, 9))
+        serial = knn_graph(features, k=6, block_size=32)
+        threaded = knn_graph(features, k=6, block_size=32, workers=4)
+        assert (serial != threaded).nnz == 0
+        np.testing.assert_array_equal(serial.data, threaded.data)
+        np.testing.assert_array_equal(serial.indices, threaded.indices)
+        np.testing.assert_array_equal(serial.indptr, threaded.indptr)
+
+    def test_sparse_bit_identical(self):
+        rng = np.random.default_rng(9)
+        dense = np.abs(rng.standard_normal((200, 40)))
+        dense[dense < 1.0] = 0.0
+        features = sp.csr_matrix(dense)
+        serial = knn_graph(features, k=5, block_size=17)
+        threaded = knn_graph(features, k=5, block_size=17, workers=3)
+        assert (serial != threaded).nnz == 0
+        np.testing.assert_array_equal(serial.data, threaded.data)
+
+    def test_single_worker_uses_serial_path(self):
+        rng = np.random.default_rng(10)
+        features = rng.standard_normal((60, 5))
+        serial = knn_graph(features, k=4, block_size=16)
+        one_worker = knn_graph(features, k=4, block_size=16, workers=1)
+        np.testing.assert_array_equal(serial.data, one_worker.data)
+
+    def test_build_view_laplacians_threads_workers(self):
+        from repro.core.laplacian import build_view_laplacians
+        from repro.datasets.generator import generate_mvag
+
+        mvag = generate_mvag(
+            n_nodes=90,
+            n_clusters=2,
+            graph_view_strengths=[0.8],
+            attribute_view_dims=[12],
+            seed=3,
+        )
+        serial = build_view_laplacians(mvag, knn_k=4, knn_block_size=16)
+        threaded = build_view_laplacians(
+            mvag, knn_k=4, knn_block_size=16, workers=4
+        )
+        for a, b in zip(serial, threaded):
+            assert (a != b).nnz == 0
+            np.testing.assert_array_equal(a.data, b.data)
+
+
 class TestClusterStructure:
     def test_two_blobs_disconnect(self):
         """Two well-separated Gaussian blobs should form two components."""

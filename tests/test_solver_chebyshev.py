@@ -1,0 +1,271 @@
+"""Tests for the Chebyshev-filtered spectral-solver backend."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.fastpath import StackedLaplacians
+from repro.core.lanczos import lanczos_spectral_interval
+from repro.core.laplacian import (
+    aggregate_laplacians,
+    build_view_laplacians,
+    normalized_laplacian,
+)
+from repro.datasets.generator import generate_mvag
+from repro.datasets.running_example import running_example_mvag
+from repro.solvers import (
+    EigenProblem,
+    SolverContext,
+    bottom_eigenpairs,
+    bottom_eigenvalues,
+    get_backend,
+    resolve_method,
+)
+from repro.solvers.chebyshev import ChebyshevBackend
+
+
+def running_example_laplacian(weights=(0.6, 0.4)):
+    mvag = running_example_mvag()
+    laplacians = [normalized_laplacian(a) for a in mvag.graph_views]
+    return aggregate_laplacians(laplacians, np.asarray(weights))
+
+
+def generated_laplacian(n=500, seed=3, weights=(0.5, 0.3, 0.2)):
+    mvag = generate_mvag(
+        n_nodes=n,
+        n_clusters=3,
+        graph_view_strengths=[0.8, 0.3],
+        attribute_view_dims=[16],
+        seed=seed,
+    )
+    laplacians = build_view_laplacians(mvag, knn_k=5)
+    return aggregate_laplacians(laplacians, np.asarray(weights)), laplacians
+
+
+class TestParity:
+    def test_running_example_direct_backend(self):
+        """The filter itself (no dense fallback) matches dense to 1e-6 on
+        the paper's running example."""
+        laplacian = running_example_laplacian()
+        reference, ref_vectors = bottom_eigenpairs(laplacian, 3, method="dense")
+        result = ChebyshevBackend().solve(EigenProblem(laplacian, 3, seed=0))
+        np.testing.assert_allclose(result.values, reference, atol=1e-6)
+        projector = result.vectors @ result.vectors.T
+        ref_projector = ref_vectors @ ref_vectors.T
+        np.testing.assert_allclose(projector, ref_projector, atol=1e-6)
+
+    def test_generated_graph_through_registry(self):
+        laplacian, _ = generated_laplacian()
+        reference = bottom_eigenvalues(laplacian, 4, method="dense")
+        values = bottom_eigenvalues(laplacian, 4, method="chebyshev", seed=0)
+        np.testing.assert_allclose(values, reference, atol=1e-8)
+
+    def test_eigenvectors_residuals(self):
+        laplacian, _ = generated_laplacian()
+        values, vectors = bottom_eigenpairs(
+            laplacian, 4, method="chebyshev", seed=0
+        )
+        for i in range(4):
+            residual = laplacian @ vectors[:, i] - values[i] * vectors[:, i]
+            assert np.linalg.norm(residual) < 1e-7
+
+    def test_matrix_free_operand(self):
+        laplacian, laplacians = generated_laplacian()
+        operator = StackedLaplacians(laplacians).operator(
+            np.array([0.5, 0.3, 0.2])
+        )
+        reference = bottom_eigenvalues(laplacian, 4, method="dense")
+        values = bottom_eigenvalues(operator, 4, method="chebyshev", seed=0)
+        np.testing.assert_allclose(values, reference, atol=1e-8)
+
+    def test_clustered_gap_spectrum(self):
+        """The documented target workload: tightly clustered bottom
+        eigenvalues below a large spectral gap (t = k)."""
+        mvag = generate_mvag(
+            n_nodes=700,
+            n_clusters=8,
+            graph_view_strengths=[0.95, 0.9],
+            attribute_view_dims=[16],
+            seed=1,
+        )
+        laplacians = build_view_laplacians(mvag, knn_k=5)
+        laplacian = aggregate_laplacians(laplacians, np.array([0.5, 0.3, 0.2]))
+        reference = bottom_eigenvalues(laplacian, 8, method="dense")
+        values = bottom_eigenvalues(laplacian, 8, method="chebyshev", seed=0)
+        np.testing.assert_allclose(values, reference, atol=1e-8)
+
+    def test_coarse_tolerance_accuracy_scales(self):
+        """A relaxed tolerance must still deliver that tolerance."""
+        laplacian, _ = generated_laplacian()
+        reference = bottom_eigenvalues(laplacian, 4, method="dense")
+        values = bottom_eigenvalues(
+            laplacian, 4, method="chebyshev", tol=1e-4, seed=0
+        )
+        np.testing.assert_allclose(values, reference, atol=2e-4)
+
+
+class TestDispatch:
+    def test_small_n_falls_back_dense(self):
+        """Like lobpcg, the block solver reroutes tiny problems."""
+        assert resolve_method(8, 3, "chebyshev") == "dense"
+        assert resolve_method(24, 5, "chebyshev") == "dense"
+        assert resolve_method(1000, 4, "chebyshev") == "chebyshev"
+
+    def test_running_example_registry_path_is_dense(self):
+        """End-to-end: the running example (n=8) requested as chebyshev
+        runs (via dense) and is exact."""
+        laplacian = running_example_laplacian()
+        reference = bottom_eigenvalues(laplacian, 3, method="dense")
+        values = bottom_eigenvalues(laplacian, 3, method="chebyshev", seed=0)
+        np.testing.assert_allclose(values, reference, atol=1e-10)
+
+    def test_operator_stays_chebyshev(self):
+        assert (
+            resolve_method(5000, 5, "chebyshev", is_operator=True)
+            == "chebyshev"
+        )
+
+
+class TestWarmStartAndStats:
+    def test_counts_matvecs(self):
+        laplacian, _ = generated_laplacian()
+        result = ChebyshevBackend().solve(EigenProblem(laplacian, 4, seed=0))
+        assert result.matvecs > 0
+
+    def test_returns_full_ritz_block(self):
+        """The backend hands back its guard-padded block, even for
+        values-only solves, so contexts can warm-start with it."""
+        laplacian, _ = generated_laplacian()
+        result = ChebyshevBackend().solve(
+            EigenProblem(laplacian, 4, seed=0, want_vectors=False)
+        )
+        assert result.vectors is None
+        assert result.ritz_block is not None
+        assert result.ritz_block.shape[0] == laplacian.shape[0]
+        assert result.ritz_block.shape[1] > 4  # wanted + guard columns
+        assert result.warm_block is result.ritz_block
+
+    def test_warm_block_reduces_matvecs(self):
+        """A nearby solve seeded with the previous full block converges
+        in fewer operator applications than a cold solve."""
+        _, laplacians = generated_laplacian(n=800)
+        first = aggregate_laplacians(laplacians, np.array([0.5, 0.3, 0.2]))
+        second = aggregate_laplacians(laplacians, np.array([0.49, 0.31, 0.2]))
+        backend = ChebyshevBackend()
+        seed_result = backend.solve(EigenProblem(first, 4, seed=0))
+        cold = backend.solve(EigenProblem(second, 4, seed=0))
+        warm = backend.solve(
+            EigenProblem(second, 4, seed=0, v0=seed_result.ritz_block)
+        )
+        assert warm.matvecs < cold.matvecs
+        np.testing.assert_allclose(warm.values, cold.values, atol=1e-8)
+
+    def test_context_chains_ritz_blocks(self):
+        """SolverContext keeps the full block between solves."""
+        _, laplacians = generated_laplacian(n=800)
+        first = aggregate_laplacians(laplacians, np.array([0.5, 0.3, 0.2]))
+        second = aggregate_laplacians(laplacians, np.array([0.49, 0.31, 0.2]))
+        context = SolverContext(method="chebyshev", seed=0)
+        context.eigenvalues(first, 4)
+        block = context.warm_block(800)
+        assert block is not None and block.shape[1] > 4
+        context.eigenvalues(second, 4)
+        assert context.stats.warm_solves == 1
+
+    def test_interval_hint_saves_estimation_matvecs(self):
+        """A warm solve carrying the previous solve's spectral interval
+        skips the Lanczos interval run (and stays accurate)."""
+        _, laplacians = generated_laplacian(n=800)
+        first = aggregate_laplacians(laplacians, np.array([0.5, 0.3, 0.2]))
+        second = aggregate_laplacians(laplacians, np.array([0.49, 0.31, 0.2]))
+        backend = ChebyshevBackend()
+        seed_result = backend.solve(EigenProblem(first, 4, seed=0))
+        assert seed_result.spectral_interval is not None
+        without_hint = backend.solve(
+            EigenProblem(second, 4, seed=0, v0=seed_result.ritz_block)
+        )
+        with_hint = backend.solve(
+            EigenProblem(
+                second, 4, seed=0, v0=seed_result.ritz_block,
+                interval=seed_result.spectral_interval,
+            )
+        )
+        assert with_hint.matvecs < without_hint.matvecs
+        np.testing.assert_allclose(
+            with_hint.values, without_hint.values, atol=1e-8
+        )
+        # The propagated interval is the raw hint (no compounding).
+        assert with_hint.spectral_interval == seed_result.spectral_interval
+
+    def test_stale_interval_hint_recovers(self):
+        """A hint whose upper edge undershoots the true spectrum is
+        detected (block Ritz values exceed it) and re-estimated; the
+        solve stays accurate."""
+        laplacian, _ = generated_laplacian()
+        reference = bottom_eigenvalues(laplacian, 4, method="dense")
+        backend = ChebyshevBackend()
+        warm = backend.solve(EigenProblem(laplacian, 4, seed=0))
+        result = backend.solve(
+            EigenProblem(
+                laplacian, 4, seed=0, v0=warm.ritz_block,
+                interval=(0.0, 0.3),  # far below the true upper edge
+            )
+        )
+        np.testing.assert_allclose(result.values, reference, atol=1e-8)
+        # The refreshed estimate, not the bogus hint, is propagated.
+        assert result.spectral_interval[1] > 0.5
+
+    def test_context_chains_interval(self):
+        _, laplacians = generated_laplacian(n=800)
+        first = aggregate_laplacians(laplacians, np.array([0.5, 0.3, 0.2]))
+        second = aggregate_laplacians(laplacians, np.array([0.49, 0.31, 0.2]))
+        chained = SolverContext(method="chebyshev", seed=0)
+        chained.eigenvalues(first, 4)
+        chained.eigenvalues(second, 4)
+        fresh = SolverContext(method="chebyshev", seed=0)
+        fresh.eigenvalues(first, 4)
+        fresh.invalidate()  # drops warm block AND interval
+        fresh.eigenvalues(second, 4)
+        assert chained.stats.matvecs < fresh.stats.matvecs
+
+    def test_determinism(self):
+        laplacian, _ = generated_laplacian()
+        backend = ChebyshevBackend()
+        a = backend.solve(EigenProblem(laplacian, 4, seed=0))
+        b = backend.solve(EigenProblem(laplacian, 4, seed=0))
+        np.testing.assert_array_equal(a.values, b.values)
+        np.testing.assert_array_equal(a.vectors, b.vectors)
+
+    def test_maxiter_caps_outer_rounds(self):
+        laplacian, _ = generated_laplacian()
+        capped = ChebyshevBackend().solve(
+            EigenProblem(laplacian, 4, seed=0, maxiter=1)
+        )
+        free = ChebyshevBackend().solve(EigenProblem(laplacian, 4, seed=0))
+        assert capped.matvecs < free.matvecs
+        assert np.all(np.isfinite(capped.values))
+
+
+class TestSpectralInterval:
+    def test_bounds_contain_spectrum(self):
+        laplacian, _ = generated_laplacian(n=300)
+        exact = np.linalg.eigvalsh(laplacian.toarray())
+        lower, upper = lanczos_spectral_interval(laplacian, steps=12, seed=0)
+        assert lower <= exact[0] + 1e-8
+        assert upper >= exact[-1] - 1e-8
+
+    def test_return_basis_shapes(self):
+        laplacian, _ = generated_laplacian(n=300)
+        lower, upper, theta, ritz = lanczos_spectral_interval(
+            laplacian, steps=10, seed=0, return_basis=True
+        )
+        assert theta.shape == (10,)
+        assert ritz.shape == (300, 10)
+        # Ritz vectors are orthonormal.
+        gram = ritz.T @ ritz
+        np.testing.assert_allclose(gram, np.eye(10), atol=1e-10)
+
+    def test_one_by_one_operator(self):
+        matrix = sp.csr_matrix(np.array([[0.5]]))
+        lower, upper = lanczos_spectral_interval(matrix, steps=4, seed=0)
+        assert lower == 0.0 and upper == 0.5

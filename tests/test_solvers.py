@@ -28,7 +28,9 @@ from repro.solvers import (
 )
 from repro.utils.errors import ValidationError
 
-ALL_BACKENDS = ("dense", "lanczos", "lobpcg", "shift-invert", "batch")
+ALL_BACKENDS = (
+    "dense", "lanczos", "lobpcg", "shift-invert", "chebyshev", "batch"
+)
 
 
 def running_example_laplacian(weights=(0.6, 0.4)):
@@ -65,7 +67,9 @@ class TestCrossBackendParity:
         ref_projector = ref_vectors @ ref_vectors.T
         np.testing.assert_allclose(projector, ref_projector, atol=1e-6)
 
-    @pytest.mark.parametrize("backend", ("lanczos", "lobpcg", "shift-invert"))
+    @pytest.mark.parametrize(
+        "backend", ("lanczos", "lobpcg", "shift-invert", "chebyshev")
+    )
     def test_larger_graph_eigenvalues(self, backend):
         laplacian, _ = generated_laplacian()
         reference = bottom_eigenvalues(laplacian, 4, method="dense")
