@@ -37,6 +37,9 @@ from repro.embedding.netmf import netmf_embedding, netmf_from_laplacian
 from repro.embedding.sketchne import sketchne_embedding
 from repro.evaluation.classification import classification_report, evaluate_embedding
 from repro.evaluation.clustering_metrics import clustering_report
+from repro.neighbors import NeighborStats, RPForest
+from repro.neighbors import available_backends as available_knn_backends
+from repro.neighbors import register_backend as register_knn_backend
 from repro.solvers import (
     SolverContext,
     SolverStats,
@@ -73,9 +76,13 @@ __all__ = [
     "clustering_report",
     "classification_report",
     "evaluate_embedding",
+    "NeighborStats",
+    "RPForest",
     "SolverContext",
     "SolverStats",
     "available_backends",
+    "available_knn_backends",
     "register_backend",
+    "register_knn_backend",
     "__version__",
 ]

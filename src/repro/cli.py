@@ -38,6 +38,8 @@ from repro.datasets.profiles import (
 )
 from repro.evaluation.classification import evaluate_embedding
 from repro.evaluation.clustering_metrics import clustering_report
+from repro.neighbors import NeighborStats
+from repro.neighbors import available_backends as available_knn_backends
 from repro.solvers import available_backends
 from repro.utils.errors import ReproError
 
@@ -113,6 +115,15 @@ def _add_solver_args(subparser) -> None:
         "tolerance to the optimizer's trust radius (coarse early, exact "
         "final re-evaluation)",
     )
+    subparser.add_argument(
+        "--knn-backend",
+        default="exact",
+        choices=("auto",) + available_knn_backends(),
+        help="neighbor-search backend for attribute-view KNN graphs "
+        "from the repro.neighbors registry ('exact' reproduces the "
+        "paper's exhaustive construction; 'rp-forest' is O(n log n) "
+        "approximate search; 'auto' switches by problem size)",
+    )
 
 
 def _solver_config(args, **extra) -> SGLAConfig:
@@ -121,6 +132,7 @@ def _solver_config(args, **extra) -> SGLAConfig:
     return SGLAConfig(
         seed=args.seed,
         knn_k=args.knn_k,
+        knn_backend=args.knn_backend,
         eigen_backend=backend,
         solver_workers=args.solver_workers,
         tol_ladder=args.tol_ladder,
@@ -157,6 +169,7 @@ def _cmd_cluster(args) -> int:
     mvag = _load_input(args.input, args.seed)
     config = _solver_config(args, gamma=args.gamma)
     solver = config.make_solver()
+    neighbor_stats = NeighborStats()
     output = cluster_mvag(
         mvag,
         k=args.k,
@@ -164,12 +177,15 @@ def _cmd_cluster(args) -> int:
         config=config,
         seed=args.seed,
         solver=solver,
+        neighbor_stats=neighbor_stats,
     )
     if output.integration.weights is not None:
         weights = np.round(output.integration.weights, 4)
         print(f"view weights: {weights.tolist()}")
     print(f"integration time: {output.integration.elapsed_seconds:.3f}s")
     print(f"solver: {solver.stats.summary()}")
+    if neighbor_stats.builds:
+        print(f"neighbors: {neighbor_stats.summary()}")
     if mvag.labels is not None:
         report = clustering_report(mvag.labels, output.labels)
         for metric, value in report.items():
@@ -184,6 +200,7 @@ def _cmd_embed(args) -> int:
     mvag = _load_input(args.input, args.seed)
     config = _solver_config(args)
     solver = config.make_solver()
+    neighbor_stats = NeighborStats()
     output = embed_mvag(
         mvag,
         dim=args.dim,
@@ -192,10 +209,13 @@ def _cmd_embed(args) -> int:
         backend=args.backend,
         seed=args.seed,
         solver=solver,
+        neighbor_stats=neighbor_stats,
     )
     print(f"backend: {output.backend}")
     print(f"embedding shape: {output.embedding.shape}")
     print(f"solver: {solver.stats.summary()}")
+    if neighbor_stats.builds:
+        print(f"neighbors: {neighbor_stats.summary()}")
     if mvag.labels is not None:
         report = evaluate_embedding(output.embedding, mvag.labels, seed=args.seed)
         print(f"macro_f1 {report['macro_f1']:.4f}")

@@ -28,6 +28,7 @@ from repro.core.mvag import MVAG
 from repro.core.objective import SpectralObjective, objective_variant
 from repro.core.sgla import SGLA, SGLAConfig, prepare_laplacians
 from repro.core.sgla_plus import SGLAPlus
+from repro.neighbors import NeighborStats
 from repro.optim.driver import minimize_on_simplex
 from repro.solvers import SolverContext, SolverStats
 from repro.utils.errors import ValidationError
@@ -53,6 +54,7 @@ class IntegrationResult:
     history: List[Tuple[np.ndarray, float]] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     solver_stats: Optional[SolverStats] = None
+    neighbor_stats: Optional[NeighborStats] = None
 
 
 def integrate(
@@ -61,6 +63,7 @@ def integrate(
     method: str = "sgla+",
     config: Optional[SGLAConfig] = None,
     solver: Optional[SolverContext] = None,
+    neighbor_stats: Optional[NeighborStats] = None,
 ) -> IntegrationResult:
     """Integrate all views of ``mvag`` into one Laplacian.
 
@@ -78,16 +81,24 @@ def integrate(
         Optional shared :class:`repro.solvers.SolverContext` carrying
         warm-start state and statistics across pipeline stages; built
         from the config when omitted.
+    neighbor_stats:
+        Optional shared :class:`repro.neighbors.NeighborStats`
+        accumulating the KNN-build counters of the attribute views
+        (created fresh when omitted, and attached to the result).
     """
     if method not in INTEGRATION_METHODS:
         raise ValidationError(
             f"method must be one of {INTEGRATION_METHODS}, got {method!r}"
         )
     config = config or SGLAConfig()
+    if neighbor_stats is None:
+        neighbor_stats = NeighborStats()
     start = time.perf_counter()
 
     if method == "sgla":
-        result = SGLA(config).fit(mvag, k=k, solver=solver)
+        result = SGLA(config).fit(
+            mvag, k=k, solver=solver, neighbor_stats=neighbor_stats
+        )
         return IntegrationResult(
             laplacian=result.laplacian,
             weights=result.weights,
@@ -96,9 +107,12 @@ def integrate(
             history=result.history,
             elapsed_seconds=result.elapsed_seconds,
             solver_stats=result.solver_stats,
+            neighbor_stats=result.neighbor_stats,
         )
     if method == "sgla+":
-        result = SGLAPlus(config).fit(mvag, k=k, solver=solver)
+        result = SGLAPlus(config).fit(
+            mvag, k=k, solver=solver, neighbor_stats=neighbor_stats
+        )
         return IntegrationResult(
             laplacian=result.laplacian,
             weights=result.weights,
@@ -107,11 +121,17 @@ def integrate(
             history=result.history,
             elapsed_seconds=result.elapsed_seconds,
             solver_stats=result.solver_stats,
+            neighbor_stats=result.neighbor_stats,
         )
     if method in ("eigengap", "connectivity"):
-        return _single_objective(mvag, k, method, config, start, solver)
+        return _single_objective(
+            mvag, k, method, config, start, solver, neighbor_stats
+        )
     if method == "equal":
-        laplacians, _ = prepare_laplacians(mvag, k or mvag.n_classes or 2, config)
+        laplacians, _ = prepare_laplacians(
+            mvag, k or mvag.n_classes or 2, config,
+            neighbor_stats=neighbor_stats,
+        )
         weights = np.full(len(laplacians), 1.0 / len(laplacians))
         laplacian = aggregate_laplacians(laplacians, weights)
         return IntegrationResult(
@@ -119,15 +139,23 @@ def integrate(
             weights=weights,
             method=method,
             elapsed_seconds=time.perf_counter() - start,
+            neighbor_stats=neighbor_stats,
         )
     # graph-agg: sum raw adjacencies, then take one normalized Laplacian.
-    summed = aggregate_adjacencies(mvag, knn_k=config.knn_k)
+    summed = aggregate_adjacencies(
+        mvag,
+        knn_k=config.knn_k,
+        knn_backend=config.knn_backend,
+        knn_params=config.knn_params,
+        neighbor_stats=neighbor_stats,
+    )
     laplacian = normalized_laplacian(summed)
     return IntegrationResult(
         laplacian=laplacian,
         weights=None,
         method=method,
         elapsed_seconds=time.perf_counter() - start,
+        neighbor_stats=neighbor_stats,
     )
 
 
@@ -138,9 +166,12 @@ def _single_objective(
     config: SGLAConfig,
     start: float,
     solver: Optional[SolverContext] = None,
+    neighbor_stats: Optional[NeighborStats] = None,
 ) -> IntegrationResult:
     """Optimize the eigengap-only or connectivity-only objective (Fig. 11)."""
-    laplacians, k = prepare_laplacians(mvag, k, config)
+    laplacians, k = prepare_laplacians(
+        mvag, k, config, neighbor_stats=neighbor_stats
+    )
     solver = solver or config.make_solver()
     objective = SpectralObjective(
         laplacians,
@@ -170,4 +201,5 @@ def _single_objective(
         history=outcome.history,
         elapsed_seconds=time.perf_counter() - start,
         solver_stats=solver.stats,
+        neighbor_stats=neighbor_stats,
     )

@@ -1,61 +1,37 @@
 """Cosine K-nearest-neighbor graph construction for attribute views.
 
-The paper (Section III-B) turns each attribute view ``X_j`` into a KNN graph
-``G_K(X_j)``: every node connects to its ``K`` most cosine-similar neighbors
-and each edge is weighted by that similarity.  The resulting adjacency is
-symmetrized so the view Laplacian is well defined.
+The paper (Section III-B) turns each attribute view ``X_j`` into a KNN
+graph ``G_K(X_j)``: every node connects to its ``K`` most cosine-similar
+neighbors and each edge is weighted by that similarity.  The resulting
+adjacency is symmetrized so the view Laplacian is well defined.
 
-The implementation works blockwise so that the full ``n x n`` similarity
-matrix is never materialized; both dense and sparse feature matrices are
-supported (high-dimensional sparse attributes are common, e.g. bag-of-words
-views in DBLP/IMDB).  Blocks are independent GEMMs, so they can run on a
-thread pool (``workers``; numpy/scipy release the GIL inside BLAS and
-sparse matmul) — results are assembled in block order and therefore
-bit-identical to the serial path.
+Neighbor *search* is delegated to the pluggable backends of
+:mod:`repro.neighbors` (DESIGN.md §9): ``exact`` reproduces the original
+blocked-GEMM construction bit-identically, ``exact-f32`` halves the
+similarity-sweep bandwidth, and ``rp-forest`` replaces the O(n^2 d)
+sweep with an O(n log n) random-projection forest plus exact re-rank.
+This module owns what all backends share: row normalization, the
+clip/weight policy, symmetrization, and the sampled recall estimate
+recorded into :class:`repro.neighbors.NeighborStats`.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Optional, Union
+from typing import Any, Mapping, Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.neighbors import (
+    NeighborRequest,
+    NeighborStats,
+    get_backend,
+    normalize_rows,
+    resolve_backend,
+)
 from repro.utils.errors import ValidationError
 from repro.utils.sparse import symmetrize
 from repro.utils.validation import check_finite
-
-
-def _normalize_rows_dense(features: np.ndarray) -> np.ndarray:
-    norms = np.linalg.norm(features, axis=1)
-    norms[norms == 0] = 1.0
-    return features / norms[:, None]
-
-
-def _normalize_rows_sparse(features: sp.spmatrix) -> sp.csr_matrix:
-    features = features.tocsr().astype(np.float64)
-    norms = np.sqrt(np.asarray(features.multiply(features).sum(axis=1)).ravel())
-    norms[norms == 0] = 1.0
-    return sp.diags(1.0 / norms).dot(features).tocsr()
-
-
-def _top_k_from_block(
-    similarities: np.ndarray, row_offset: int, k: int
-) -> tuple:
-    """Indices/weights of the top-``k`` neighbors per row, excluding self."""
-    block_size, n = similarities.shape
-    rows_local = np.arange(block_size)
-    self_columns = row_offset + rows_local
-    valid = self_columns < n
-    similarities[rows_local[valid], self_columns[valid]] = -np.inf
-
-    k = min(k, n - 1)
-    # argpartition gives the k largest in arbitrary order, which is all we
-    # need — edge weights carry the actual similarity values.
-    top_idx = np.argpartition(similarities, -k, axis=1)[:, -k:]
-    top_val = np.take_along_axis(similarities, top_idx, axis=1)
-    return top_idx, top_val
 
 
 def knn_graph(
@@ -64,6 +40,11 @@ def knn_graph(
     block_size: int = 2048,
     weighted: bool = True,
     workers: Optional[int] = None,
+    backend: str = "exact",
+    backend_params: Optional[Mapping[str, Any]] = None,
+    seed: int = 0,
+    stats: Optional[NeighborStats] = None,
+    assume_normalized: bool = False,
 ) -> sp.csr_matrix:
     """Build the symmetric cosine KNN graph of an attribute view.
 
@@ -75,18 +56,38 @@ def knn_graph(
         Number of neighbors per node (``K`` in the paper; default 10,
         matching the paper's default setting).
     block_size:
-        Rows per similarity block; bounds peak memory at
-        ``block_size * n`` floats per in-flight block.
+        Rows per similarity block for the exact backends; bounds peak
+        memory at ``block_size * n`` floats per in-flight block.
     weighted:
         If True (paper behaviour) edges carry the cosine similarity,
         clipped at zero; if False, edges have unit weight.
     workers:
-        Thread count for concurrent block GEMMs (``None`` or ``<= 1``
-        keeps the serial path).  Peak memory grows to ``workers`` blocks
-        in flight, which is why concurrency is opt-in — callers thread
-        it from ``SGLAConfig.solver_workers``.  Output is bit-identical
-        to the serial path: blocks are deterministic, independent, and
-        concatenated in block order.
+        Thread count for concurrent similarity blocks (``None`` or
+        ``<= 1`` keeps the serial path).  Peak memory grows to
+        ``workers`` blocks in flight, which is why concurrency is
+        opt-in — callers thread it from ``SGLAConfig.solver_workers``.
+        Output is bit-identical to the serial path.
+    backend:
+        Neighbor-search backend key from the :mod:`repro.neighbors`
+        registry (``"exact"`` — default, the paper's exhaustive search;
+        ``"exact-f32"``; ``"rp-forest"``) or ``"auto"`` (exact up to
+        :data:`repro.neighbors.EXACT_CUTOFF` nodes, rp-forest above).
+        Small problems fall back to ``exact`` per
+        :func:`repro.neighbors.resolve_backend`.
+    backend_params:
+        Backend-specific knobs (rp-forest: ``n_trees``, ``leaf_size``,
+        ``refine_iters``, a prebuilt ``forest``; exact-f32:
+        ``tie_margin``).
+    seed:
+        Determinism seed for randomized backends and recall sampling.
+    stats:
+        Optional :class:`repro.neighbors.NeighborStats` accumulating
+        build counters and (for approximate backends) a sampled recall
+        estimate across calls.
+    assume_normalized:
+        ``features`` are already row-normalized to unit L2 norm; skips
+        the normalization pass (used by the streaming layer, which
+        caches normalized views).
 
     Returns
     -------
@@ -100,36 +101,34 @@ def knn_graph(
     if n < 2:
         return sp.csr_matrix((n, n), dtype=np.float64)
 
-    sparse_input = sp.issparse(features)
-    if sparse_input:
-        normalized = _normalize_rows_sparse(features)
+    if assume_normalized:
+        if sp.issparse(features):
+            normalized = features.tocsr().astype(np.float64)
+        else:
+            normalized = np.asarray(features, dtype=np.float64)
     else:
-        normalized = _normalize_rows_dense(
-            np.asarray(features, dtype=np.float64)
-        )
+        normalized = normalize_rows(features)
 
     effective_k = min(k, n - 1)
+    resolved = resolve_backend(n, effective_k, backend, backend_params)
+    request = NeighborRequest(
+        normalized=normalized,
+        k=effective_k,
+        block_size=block_size,
+        workers=workers,
+        seed=seed,
+        params=dict(backend_params or {}),
+    )
+    result = get_backend(resolved).neighbors(request)
+    rows, cols, vals = result.rows, result.cols, result.vals
 
-    def similarity_block(start: int) -> tuple:
-        stop = min(start + block_size, n)
-        if sparse_input:
-            block = normalized[start:stop].dot(normalized.T).toarray()
-        else:
-            block = normalized[start:stop].dot(normalized.T)
-        top_idx, top_val = _top_k_from_block(block, start, effective_k)
-        block_rows = np.repeat(np.arange(start, stop), top_idx.shape[1])
-        return block_rows, top_idx.ravel(), top_val.ravel()
-
-    starts = range(0, n, block_size)
-    if workers is not None and workers > 1 and n > block_size:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            blocks = list(pool.map(similarity_block, starts))
-    else:
-        blocks = [similarity_block(start) for start in starts]
-
-    rows = np.concatenate([rows for rows, _, _ in blocks])
-    cols = np.concatenate([cols for _, cols, _ in blocks])
-    vals = np.concatenate([vals for _, _, vals in blocks])
+    if stats is not None:
+        stats.record_build(resolved, n, result.candidate_pairs)
+        if not result.exact and stats.recall_sample > 0:
+            hits, total = _sampled_recall(
+                normalized, rows, cols, effective_k, stats.recall_sample, seed
+            )
+            stats.record_recall(hits, total)
 
     # Cosine similarity can be negative for dissimilar nodes that were still
     # among the top-k (e.g. tiny n); negative edge weights would break the
@@ -145,3 +144,37 @@ def knn_graph(
     adjacency.setdiag(0.0)
     adjacency.eliminate_zeros()
     return adjacency
+
+
+def _sampled_recall(
+    normalized,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    k: int,
+    sample_size: int,
+    seed: int,
+) -> tuple:
+    """Recall of the directed top-k lists on a brute-forced row sample.
+
+    One ``sample x n`` GEMM against the normalized features gives the
+    exact neighbor sets of ``sample_size`` rows; recall is the fraction
+    of those ground-truth neighbors present in the approximate lists.
+    Ties at the k-th similarity make this a slightly pessimistic
+    estimate, which is the safe direction for a gate.
+    """
+    n = normalized.shape[0]
+    rng = np.random.default_rng(seed)
+    sample = rng.choice(n, size=min(sample_size, n), replace=False)
+    sample.sort()
+    block = normalized[sample].dot(normalized.T)
+    if sp.issparse(block):
+        block = block.toarray()
+    block[np.arange(sample.size), sample] = -np.inf
+    exact_idx = np.argpartition(block, -k, axis=1)[:, -k:]
+
+    hits = 0
+    total = sample.size * k
+    for position, node in enumerate(sample):
+        approx = cols[rows == node]
+        hits += np.intersect1d(exact_idx[position], approx).size
+    return hits, total

@@ -62,6 +62,9 @@ def build_view_laplacians(
     knn_k: int = 10,
     knn_block_size: int = 2048,
     workers=None,
+    knn_backend: str = "exact",
+    knn_params=None,
+    neighbor_stats=None,
 ) -> List[sp.csr_matrix]:
     """Compute the ``r`` view Laplacians of an MVAG (paper Section III-B).
 
@@ -69,6 +72,10 @@ def build_view_laplacians(
     the normalized Laplacian of their cosine KNN graph with ``K = knn_k``
     neighbors.  ``workers`` (from ``SGLAConfig.solver_workers``) enables
     the KNN build's concurrent similarity blocks — bit-identical output.
+    ``knn_backend`` / ``knn_params`` select the neighbor-search backend
+    from the :mod:`repro.neighbors` registry (DESIGN.md §9), and
+    ``neighbor_stats`` optionally accumulates build counters and the
+    sampled recall estimate across the attribute views.
 
     Returns the Laplacians in paper order: graph views first, then
     attribute views.
@@ -81,6 +88,9 @@ def build_view_laplacians(
                 k=knn_k,
                 block_size=knn_block_size,
                 workers=workers,
+                backend=knn_backend,
+                backend_params=knn_params,
+                stats=neighbor_stats,
             )
         )
         for features in mvag.attribute_views
@@ -135,7 +145,13 @@ def aggregate_laplacians(
     return result
 
 
-def aggregate_adjacencies(mvag: MVAG, knn_k: int = 10) -> sp.csr_matrix:
+def aggregate_adjacencies(
+    mvag: MVAG,
+    knn_k: int = 10,
+    knn_backend: str = "exact",
+    knn_params=None,
+    neighbor_stats=None,
+) -> sp.csr_matrix:
     """Plain (unnormalized) adjacency aggregation — the "Graph-Agg" ablation.
 
     Sums raw adjacency matrices of graph views and KNN graphs of attribute
@@ -147,5 +163,11 @@ def aggregate_adjacencies(mvag: MVAG, knn_k: int = 10) -> sp.csr_matrix:
     for adjacency in mvag.graph_views:
         total = total + adjacency
     for features in mvag.attribute_views:
-        total = total + knn_graph(features, k=knn_k)
+        total = total + knn_graph(
+            features,
+            k=knn_k,
+            backend=knn_backend,
+            backend_params=knn_params,
+            stats=neighbor_stats,
+        )
     return total.tocsr()

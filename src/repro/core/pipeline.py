@@ -22,6 +22,7 @@ from repro.core.mvag import MVAG
 from repro.core.sgla import SGLAConfig
 from repro.embedding.netmf import _DENSE_NODE_LIMIT, netmf_from_laplacian
 from repro.embedding.sketchne import sketchne_embedding
+from repro.neighbors import NeighborStats
 from repro.solvers import SolverContext
 from repro.utils.errors import ValidationError
 
@@ -61,6 +62,7 @@ def cluster_mvag(
     seed=0,
     fast_path: Optional[bool] = None,
     solver: Optional[SolverContext] = None,
+    neighbor_stats: Optional[NeighborStats] = None,
 ) -> ClusterOutput:
     """Cluster an MVAG end to end.
 
@@ -84,13 +86,19 @@ def cluster_mvag(
         Optional shared :class:`repro.solvers.SolverContext` used by both
         the integration and the clustering eigensolve, so the final
         objective solve's Ritz block warm-starts the clustering stage.
+    neighbor_stats:
+        Optional shared :class:`repro.neighbors.NeighborStats`
+        accumulating the KNN-build counters of the integration stage.
     """
     if k is None:
         k = mvag.n_classes
     if k is None:
         raise ValidationError("k must be given for an unlabeled MVAG")
     config = _resolve_config(config, fast_path)
-    integration = integrate(mvag, k=k, method=method, config=config, solver=solver)
+    integration = integrate(
+        mvag, k=k, method=method, config=config, solver=solver,
+        neighbor_stats=neighbor_stats,
+    )
     labels = spectral_clustering(
         integration.laplacian, k=k, assign=assign, seed=seed, solver=solver
     )
@@ -107,6 +115,7 @@ def embed_mvag(
     seed=0,
     fast_path: Optional[bool] = None,
     solver: Optional[SolverContext] = None,
+    neighbor_stats: Optional[NeighborStats] = None,
 ) -> EmbedOutput:
     """Embed an MVAG end to end.
 
@@ -123,13 +132,19 @@ def embed_mvag(
     solver:
         Optional shared :class:`repro.solvers.SolverContext` used by both
         the integration and the embedding eigensolve.
+    neighbor_stats:
+        Optional shared :class:`repro.neighbors.NeighborStats`
+        accumulating the KNN-build counters of the integration stage.
     """
     if k is None:
         k = mvag.n_classes
     if k is None:
         raise ValidationError("k must be given for an unlabeled MVAG")
     config = _resolve_config(config, fast_path)
-    integration = integrate(mvag, k=k, method=method, config=config, solver=solver)
+    integration = integrate(
+        mvag, k=k, method=method, config=config, solver=solver,
+        neighbor_stats=neighbor_stats,
+    )
     laplacian = integration.laplacian
 
     if backend == "auto":

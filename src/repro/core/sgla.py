@@ -19,6 +19,7 @@ import scipy.sparse as sp
 from repro.core.laplacian import build_view_laplacians
 from repro.core.mvag import MVAG
 from repro.core.objective import LADDER_COARSE_TOL, SpectralObjective
+from repro.neighbors import NeighborStats
 from repro.optim.driver import minimize_on_simplex
 from repro.solvers import SolverContext, SolverStats
 from repro.utils.errors import ValidationError
@@ -43,6 +44,14 @@ class SGLAConfig:
         Ridge coefficient of the SGLA+ surrogate fit (paper default 0.05).
     knn_k:
         Neighbors for attribute-view KNN graphs (paper default 10).
+    knn_backend:
+        Neighbor-search backend for attribute-view KNN graphs (any
+        :mod:`repro.neighbors` registry key or ``"auto"``; DESIGN.md §9).
+        ``"exact"`` (default) is the paper's exhaustive construction;
+        ``"rp-forest"`` switches to O(n log n) approximate search.
+    knn_params:
+        Backend-specific knobs (rp-forest ``n_trees`` / ``leaf_size`` /
+        ``refine_iters`` / ``spill``, exact-f32 ``tie_margin``).
     eigen_method:
         Eigensolver dispatch (any :mod:`repro.solvers` registry key).
     eigen_backend:
@@ -92,6 +101,8 @@ class SGLAConfig:
     t_max: int = 50
     alpha_r: float = 0.05
     knn_k: int = 10
+    knn_backend: str = "exact"
+    knn_params: Optional[dict] = None
     eigen_method: str = "auto"
     eigen_backend: Optional[str] = None
     solver_workers: Optional[int] = None
@@ -159,6 +170,9 @@ class SGLAResult:
     solver_stats:
         Eigensolve counters of the run's :class:`~repro.solvers.
         SolverContext` (``None`` for paths that performed no solves).
+    neighbor_stats:
+        KNN-build counters of the run (``None`` when the input was a
+        pre-built Laplacian sequence, which performs no graph builds).
     """
 
     laplacian: sp.csr_matrix
@@ -169,20 +183,31 @@ class SGLAResult:
     converged: bool = False
     elapsed_seconds: float = 0.0
     solver_stats: Optional[SolverStats] = None
+    neighbor_stats: Optional[NeighborStats] = None
 
 
 def prepare_laplacians(
-    data: InputLike, k: Optional[int], config: SGLAConfig
+    data: InputLike,
+    k: Optional[int],
+    config: SGLAConfig,
+    neighbor_stats: Optional[NeighborStats] = None,
 ) -> Tuple[List[sp.csr_matrix], int]:
     """Normalize solver input into (view Laplacians, cluster count).
 
     ``data`` may be an :class:`MVAG` (views are converted to Laplacians
-    using ``config.knn_k``) or a pre-built sequence of view Laplacians.
-    ``k`` defaults to the MVAG's label count when available.
+    using ``config.knn_k`` through the ``config.knn_backend`` neighbor
+    search, with build counters recorded into ``neighbor_stats``) or a
+    pre-built sequence of view Laplacians.  ``k`` defaults to the MVAG's
+    label count when available.
     """
     if isinstance(data, MVAG):
         laplacians = build_view_laplacians(
-            data, knn_k=config.knn_k, workers=config.solver_workers
+            data,
+            knn_k=config.knn_k,
+            workers=config.solver_workers,
+            knn_backend=config.knn_backend,
+            knn_params=config.knn_params,
+            neighbor_stats=neighbor_stats,
         )
         if k is None:
             k = data.n_classes
@@ -226,16 +251,23 @@ class SGLA:
         data: InputLike,
         k: Optional[int] = None,
         solver: Optional[SolverContext] = None,
+        neighbor_stats: Optional[NeighborStats] = None,
     ) -> SGLAResult:
         """Run Algorithm 1 and return the integrated Laplacian and weights.
 
         ``solver`` optionally shares a :class:`repro.solvers.SolverContext`
         (warm-start blocks + statistics) with the caller; by default a
-        fresh context is built from the config.
+        fresh context is built from the config.  ``neighbor_stats``
+        likewise shares the KNN-build counters (a fresh one is created
+        when the input is an MVAG).
         """
         start = time.perf_counter()
         config = self.config
-        laplacians, k = prepare_laplacians(data, k, config)
+        if neighbor_stats is None and isinstance(data, MVAG):
+            neighbor_stats = NeighborStats()
+        laplacians, k = prepare_laplacians(
+            data, k, config, neighbor_stats=neighbor_stats
+        )
         solver = solver or config.make_solver()
         objective = SpectralObjective(
             laplacians,
@@ -292,4 +324,5 @@ class SGLA:
             converged=outcome.converged,
             elapsed_seconds=elapsed,
             solver_stats=solver.stats,
+            neighbor_stats=neighbor_stats,
         )

@@ -25,8 +25,10 @@ from repro.core.objective import SpectralObjective
 from repro.core.sampling import adjusted_samples, interpolation_samples
 import numpy as np
 
+from repro.core.mvag import MVAG
 from repro.core.sgla import InputLike, SGLAConfig, SGLAResult, prepare_laplacians
 from repro.core.surrogate import fit_surrogate
+from repro.neighbors import NeighborStats
 from repro.optim.driver import minimize_on_simplex
 from repro.optim.simplex import project_to_simplex
 from repro.solvers import SolverContext
@@ -88,6 +90,7 @@ class SGLAPlus:
         k: Optional[int] = None,
         delta_samples: int = 0,
         solver: Optional[SolverContext] = None,
+        neighbor_stats: Optional[NeighborStats] = None,
     ) -> SGLAResult:
         """Run Algorithm 2.
 
@@ -104,10 +107,18 @@ class SGLAPlus:
         solver:
             Optional shared :class:`repro.solvers.SolverContext`; a fresh
             one is built from the config when omitted.
+        neighbor_stats:
+            Optional shared :class:`repro.neighbors.NeighborStats`
+            accumulating the KNN-build counters (a fresh one is created
+            when the input is an MVAG).
         """
         start = time.perf_counter()
         config = self.config
-        laplacians, k = prepare_laplacians(data, k, config)
+        if neighbor_stats is None and isinstance(data, MVAG):
+            neighbor_stats = NeighborStats()
+        laplacians, k = prepare_laplacians(
+            data, k, config, neighbor_stats=neighbor_stats
+        )
         solver = solver or config.make_solver()
         objective = SpectralObjective(
             laplacians,
@@ -133,6 +144,7 @@ class SGLAPlus:
                 converged=True,
                 elapsed_seconds=time.perf_counter() - start,
                 solver_stats=solver.stats,
+                neighbor_stats=neighbor_stats,
             )
 
         # Lines 1-6: sample weight vectors, evaluate the true objective.
@@ -227,4 +239,5 @@ class SGLAPlus:
             converged=outcome.converged,
             elapsed_seconds=elapsed,
             solver_stats=solver.stats,
+            neighbor_stats=neighbor_stats,
         )

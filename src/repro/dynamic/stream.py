@@ -7,15 +7,21 @@ an edge update touches only the rows/columns of its endpoints (the
 normalized Laplacian of node pairs whose degree changed), so a batch of
 ``u`` updates costs ``O(u * d_max)`` instead of a full rebuild.
 
-For attribute views, a node's KNN edges are recomputed against the current
-attribute matrix on demand (exact for the updated node's out-edges; the
-symmetric closure keeps the graph valid).
+Attribute views keep two pieces of incremental state so that KNN-graph
+refreshes do not restart from scratch (DESIGN.md §9):
+
+* the **row-normalized feature matrix** of each view is cached and only
+  the updated row is renormalized (``O(d)`` for dense views instead of
+  the full ``O(n d)`` pass per refresh);
+* with an approximate ``knn_backend``, the **rp-forest** built for each
+  view is cached and the updated row is rerouted through the existing
+  trees (``O(depth)`` per tree) instead of rebuilding the forest.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -23,8 +29,37 @@ import scipy.sparse as sp
 from repro.core.knn import knn_graph
 from repro.core.laplacian import normalized_laplacian
 from repro.core.mvag import MVAG
+from repro.neighbors import (
+    NeighborStats,
+    RPForest,
+    forest_from_params,
+    normalize_rows,
+    resolve_backend,
+)
 from repro.utils.errors import ValidationError
 from repro.utils.sparse import ensure_csr
+
+
+def _replace_csr_row(
+    matrix: sp.csr_matrix, index: int, dense_row: np.ndarray
+) -> sp.csr_matrix:
+    """CSR with row ``index`` replaced by ``dense_row`` (one array splice).
+
+    Rebuilds only the three CSR arrays around the row's nonzeros — a
+    memcpy-level operation — instead of converting the whole matrix
+    through LIL or renormalizing from scratch.
+    """
+    nonzero = np.flatnonzero(dense_row)
+    start, stop = matrix.indptr[index], matrix.indptr[index + 1]
+    data = np.concatenate(
+        [matrix.data[:start], dense_row[nonzero], matrix.data[stop:]]
+    )
+    indices = np.concatenate(
+        [matrix.indices[:start], nonzero, matrix.indices[stop:]]
+    )
+    indptr = matrix.indptr.copy()
+    indptr[index + 1 :] += nonzero.size - (stop - start)
+    return sp.csr_matrix((data, indices, indptr), shape=matrix.shape)
 
 
 @dataclass(frozen=True)
@@ -62,6 +97,13 @@ class DynamicMVAG:
         Initial snapshot (copied; the original is not mutated).
     knn_k:
         Neighbors for attribute-view KNN graphs.
+    knn_backend:
+        Neighbor-search backend for attribute-view KNN rebuilds (any
+        :mod:`repro.neighbors` registry key or ``"auto"``).  With
+        ``"rp-forest"`` the per-view forest is kept across updates.
+    knn_params:
+        Backend-specific knobs forwarded to :func:`repro.core.knn.
+        knn_graph`.
 
     Notes
     -----
@@ -69,9 +111,17 @@ class DynamicMVAG:
     writes) and converted to CSR lazily when Laplacians are requested.
     """
 
-    def __init__(self, mvag: MVAG, knn_k: int = 10) -> None:
+    def __init__(
+        self,
+        mvag: MVAG,
+        knn_k: int = 10,
+        knn_backend: str = "exact",
+        knn_params: Optional[dict] = None,
+    ) -> None:
         self._n = mvag.n_nodes
         self._knn_k = int(knn_k)
+        self._knn_backend = knn_backend
+        self._knn_params = dict(knn_params or {})
         self._graphs: List[sp.lil_matrix] = [
             adjacency.tolil(copy=True) for adjacency in mvag.graph_views
         ]
@@ -85,6 +135,13 @@ class DynamicMVAG:
         self._laplacians: Dict[int, sp.csr_matrix] = {}
         self._attr_graph_dirty = [False] * len(self._attributes)
         self._updates_since_snapshot = 0
+        # Incremental KNN state: per-view row-normalized features (only
+        # changed rows are renormalized) and, for rp-forest, the reusable
+        # forest.  Both are built lazily on first use.
+        self._normalized: Dict[int, Union[np.ndarray, sp.csr_matrix]] = {}
+        self._forests: Dict[int, RPForest] = {}
+        #: KNN-build counters across streaming rebuilds (observable).
+        self.neighbor_stats = NeighborStats()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -150,15 +207,45 @@ class DynamicMVAG:
                 f"got {values.shape[0]}"
             )
         if sp.issparse(attributes):
-            attributes = attributes.tolil()
-            attributes[node] = values
-            self._attributes[view] = attributes.tocsr()
+            # One CSR row splice instead of full tolil/tocsr round trips
+            # (same memcpy-level cost as the normalized-cache patch).
+            self._attributes[view] = _replace_csr_row(
+                attributes.tocsr(), node, values
+            )
         else:
             attributes[node] = values
+        self._refresh_normalized_row(view, node, values)
         self._attr_graph_dirty[view] = True
         graph_offset = len(self._graphs)
         self._laplacians.pop(graph_offset + view, None)
         self._updates_since_snapshot += 1
+
+    def _refresh_normalized_row(
+        self, view: int, node: int, values: np.ndarray
+    ) -> None:
+        """Maintain the cached normalized features and forest for one row.
+
+        The cached matrix is patched in place (``O(d)`` for dense views,
+        one CSR row splice for sparse views) instead of re-running the
+        full ``O(n d)`` normalization on the next KNN rebuild, and the
+        cached rp-forest reroutes just this row through its trees.
+        """
+        cached = self._normalized.get(view)
+        if cached is None:
+            return
+        norm = float(np.linalg.norm(values))
+        normalized_row = values / (norm if norm > 0 else 1.0)
+        if sp.issparse(cached):
+            self._normalized[view] = _replace_csr_row(
+                cached, node, normalized_row
+            )
+            forest_row = self._normalized[view][node]
+        else:
+            cached[node] = normalized_row
+            forest_row = normalized_row
+        forest = self._forests.get(view)
+        if forest is not None:
+            forest.update_row(node, forest_row)
 
     # ------------------------------------------------------------------ #
     # Views out
@@ -176,11 +263,38 @@ class DynamicMVAG:
             attr_index = index - len(self._graphs)
             if not 0 <= attr_index < len(self._attributes):
                 raise ValidationError(f"no view {index}")
-            graph = knn_graph(self._attributes[attr_index], k=self._knn_k)
+            graph = self._attribute_knn_graph(attr_index)
             laplacian = normalized_laplacian(graph)
             self._attr_graph_dirty[attr_index] = False
         self._laplacians[index] = laplacian
         return laplacian
+
+    def _attribute_knn_graph(self, attr_index: int) -> sp.csr_matrix:
+        """KNN graph of one attribute view from the incremental caches."""
+        normalized = self._normalized.get(attr_index)
+        if normalized is None:
+            normalized = normalize_rows(self._attributes[attr_index])
+            self._normalized[attr_index] = normalized
+        params = dict(self._knn_params)
+        resolved = resolve_backend(
+            self._n, min(self._knn_k, self._n - 1), self._knn_backend, params
+        )
+        if resolved == "rp-forest":
+            forest = self._forests.get(attr_index)
+            if forest is None:
+                # seed=0 mirrors knn_graph's default so a streamed forest
+                # matches what a cold backend build would construct.
+                forest = forest_from_params(normalized, params, seed=0)
+                self._forests[attr_index] = forest
+            params["forest"] = forest
+        return knn_graph(
+            normalized,
+            k=self._knn_k,
+            backend=self._knn_backend,
+            backend_params=params,
+            stats=self.neighbor_stats,
+            assume_normalized=True,
+        )
 
     def view_laplacians(self) -> List[sp.csr_matrix]:
         """All current view Laplacians, paper order."""

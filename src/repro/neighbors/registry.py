@@ -1,0 +1,106 @@
+"""String-keyed neighbor-backend registry and the shared dispatch policy.
+
+Every KNN-graph build in the repository routes through this registry:
+call sites name a backend (``"exact"``, ``"exact-f32"``, ``"rp-forest"``,
+or ``"auto"``) and :func:`resolve_backend` settles what actually runs for
+a given problem size — the same single-source-of-truth pattern as
+``repro.solvers.registry.resolve_method``.  Adding a neighbor search — a
+GPU re-rank, an HNSW wrapper, a sharded remote index — is one
+:func:`register_backend` call; no call site changes.
+
+Dispatch rules:
+
+* ``"auto"`` uses exhaustive ``exact`` search at or below
+  :data:`EXACT_CUTOFF` nodes and ``rp-forest`` above it;
+* ``rp-forest`` falls back to ``exact`` when approximation cannot help:
+  ``k`` reaches ``n - 1`` (every node is a neighbor), the problem is
+  smaller than a couple of leaves, or ``k`` is not safely below the leaf
+  size (a single leaf could not even supply ``k`` candidates).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.neighbors.base import NeighborBackend
+from repro.utils.errors import ValidationError
+
+#: "auto" switches from exhaustive search to rp-forest above this size.
+EXACT_CUTOFF = 4096
+
+#: rp-forest needs at least this many nodes to beat brute force.
+RP_FOREST_MIN_N = 512
+
+_REGISTRY: Dict[str, NeighborBackend] = {}
+
+
+def register_backend(
+    backend: NeighborBackend, overwrite: bool = False
+) -> NeighborBackend:
+    """Register ``backend`` under its ``name`` key.
+
+    Raises :class:`ValidationError` for empty names or duplicate
+    registrations unless ``overwrite`` is set (useful for swapping in an
+    instrumented or accelerator-specific implementation).
+    """
+    name = getattr(backend, "name", "")
+    if not name or not isinstance(name, str):
+        raise ValidationError(
+            f"neighbor backend must define a non-empty string name, got {name!r}"
+        )
+    if name in _REGISTRY and not overwrite:
+        raise ValidationError(
+            f"neighbor backend {name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (no-op if absent); used by tests and plugins."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> NeighborBackend:
+    """Look up a backend by key; unknown keys list what is available."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown neighbor backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Sorted registry keys."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend(
+    n: int,
+    effective_k: int,
+    backend: str,
+    params: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """The backend actually used for an ``n``-node, ``k``-neighbor build.
+
+    Accepts any registered backend name plus ``"auto"``; unknown names
+    pass through so :func:`get_backend` can report them with the list of
+    alternatives.
+    """
+    if backend == "auto":
+        backend = "exact" if n <= EXACT_CUTOFF else "rp-forest"
+    if backend == "rp-forest":
+        # Local import avoids a cycle (rp_forest registers itself here).
+        from repro.neighbors.rp_forest import DEFAULT_LEAF_SIZE
+
+        leaf_size = int((params or {}).get("leaf_size", DEFAULT_LEAF_SIZE))
+        too_small = n <= max(RP_FOREST_MIN_N, 2 * leaf_size)
+        # A leaf supplies at most leaf_size - 1 candidates per node; if k
+        # is not safely below that, the forest cannot reach high recall.
+        k_too_large = effective_k >= leaf_size or effective_k >= n - 1
+        if too_small or k_too_large:
+            backend = "exact"
+    return backend

@@ -106,6 +106,108 @@ class TestDynamicMVAG:
         assert dynamic.updates_since_snapshot == 0
 
 
+class TestIncrementalKnnState:
+    """Cached row normalization + forest reuse across attribute updates."""
+
+    def test_dense_row_cache_matches_static_rebuild(self, small_dynamic):
+        dynamic, _ = small_dynamic
+        dynamic.view_laplacians()  # prime the normalized cache
+        rng = np.random.default_rng(0)
+        for node in (3, 17, 40):
+            dynamic.update_attributes(0, node, rng.standard_normal(12))
+        static = build_view_laplacians(dynamic.snapshot(), knn_k=5)
+        for a, b in zip(dynamic.view_laplacians(), static):
+            assert abs(a - b).max() < 1e-10
+
+    def test_sparse_row_splice_matches_static_rebuild(self):
+        import scipy.sparse as sp
+
+        from repro.core.mvag import MVAG
+
+        rng = np.random.default_rng(1)
+        dense = np.abs(rng.standard_normal((70, 20)))
+        dense[rng.random((70, 20)) < 0.7] = 0.0
+        mvag = MVAG(
+            graph_views=[sp.eye(70).tocsr() * 0],
+            attribute_views=[sp.csr_matrix(dense)],
+        )
+        dynamic = DynamicMVAG(mvag, knn_k=4)
+        dynamic.view_laplacian(1)  # prime the normalized cache
+        for node in (0, 12, 69):
+            row = np.abs(rng.standard_normal(20))
+            row[rng.random(20) < 0.5] = 0.0
+            dynamic.update_attributes(0, node, row)
+        static = build_view_laplacians(dynamic.snapshot(), knn_k=4)
+        streamed = dynamic.view_laplacians()
+        assert abs(streamed[1] - static[1]).max() < 1e-10
+
+    def test_update_before_first_build_matches(self, small_dynamic):
+        # No cache primed yet: the first build must normalize fresh.
+        dynamic, _ = small_dynamic
+        dynamic.update_attributes(0, 2, np.full(12, 3.0))
+        static = build_view_laplacians(dynamic.snapshot(), knn_k=5)
+        streamed = dynamic.view_laplacians()
+        for a, b in zip(streamed, static):
+            assert abs(a - b).max() < 1e-10
+
+    def test_forest_cached_and_reused(self):
+        mvag = generate_mvag(
+            n_nodes=700,
+            n_clusters=3,
+            graph_view_strengths=[0.8],
+            attribute_view_dims=[16],
+            seed=7,
+        )
+        dynamic = DynamicMVAG(
+            mvag, knn_k=5, knn_backend="rp-forest",
+            knn_params={"n_trees": 4, "leaf_size": 64},
+        )
+        attr_view = dynamic.n_graph_views
+        dynamic.view_laplacian(attr_view)
+        assert 0 in dynamic._forests
+        forest = dynamic._forests[0]
+        dynamic.update_attributes(
+            0, 5, np.random.default_rng(1).standard_normal(16)
+        )
+        dynamic.view_laplacian(attr_view)
+        # same forest object survives the update (rerouted, not rebuilt)
+        assert dynamic._forests[0] is forest
+        assert dynamic.neighbor_stats.by_backend.get("rp-forest") == 2
+
+    def test_forest_update_matches_explicit_reuse(self):
+        from repro.core.knn import knn_graph
+
+        mvag = generate_mvag(
+            n_nodes=700,
+            n_clusters=3,
+            graph_view_strengths=[0.8],
+            attribute_view_dims=[16],
+            seed=8,
+        )
+        params = {"n_trees": 4, "leaf_size": 64}
+        dynamic = DynamicMVAG(
+            mvag, knn_k=5, knn_backend="rp-forest", knn_params=params
+        )
+        attr_view = dynamic.n_graph_views
+        dynamic.view_laplacian(attr_view)
+        new_row = np.random.default_rng(2).standard_normal(16)
+        dynamic.update_attributes(0, 9, new_row)
+        streamed = dynamic.view_laplacian(attr_view)
+        # Ground truth: the same forest state applied to the same data.
+        from repro.core.laplacian import normalized_laplacian
+
+        expected = normalized_laplacian(
+            knn_graph(
+                dynamic._normalized[0],
+                k=5,
+                backend="rp-forest",
+                backend_params={**params, "forest": dynamic._forests[0]},
+                assume_normalized=True,
+            )
+        )
+        assert abs(streamed - expected).max() < 1e-12
+
+
 class TestWarmStartObjective:
     def test_matches_cold_objective(self, small_dynamic):
         dynamic, mvag = small_dynamic
