@@ -1,0 +1,335 @@
+"""Process-sharded serving benchmark (DESIGN.md §10).
+
+Measures the two sharded workloads against their in-process serial
+execution on one multi-view problem:
+
+* **view builds** — ``build_view_laplacians`` (graph normalization +
+  exact attribute KNN builds) serial vs ``shard_workers=4``;
+* **SGLA+ weight-batch eigensolves** — a batch of ``L(w)`` bottom-``t``
+  solves through ``shard_objective_batch`` serial vs sharded;
+* **end to end** — ``cluster_mvag`` (SGLA+) at ``shard_workers=1`` vs
+  ``shard_workers=4``.
+
+Acceptance gates:
+
+* **bit-identity always**: sharded view Laplacians, eigenvalue batches,
+  ``w*`` and labels must equal the serial-shard execution *bitwise* at
+  every worker count — this is the subsystem's determinism contract and
+  it gates in both modes, including end-to-end through the CLI in smoke
+  mode (``--shard-workers 2`` vs ``--shard-workers 1``);
+* **speedup >= 1.5x** on the view-build and batch-eigensolve sections in
+  full mode — enforced only on hosts with >= 2 cores.  Process sharding
+  cannot beat serial execution on a single core (the committed results
+  record the host core count; on a 1-core container the sections
+  honestly report <= 1x and the speed gate records itself as skipped).
+
+Runs as a plain script (``--smoke`` for the CI leg, ``--json`` to echo
+the machine-readable results always written under
+``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+# Importable both under pytest (benchmarks/conftest.py) and as a script.
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+import numpy as np
+
+from harness import emit, emit_json, format_table
+from repro.core.fastpath import StackedLaplacians
+from repro.core.laplacian import build_view_laplacians
+from repro.core.pipeline import cluster_mvag
+from repro.core.sgla import SGLAConfig
+from repro.datasets.generator import generate_mvag
+from repro.evaluation.clustering_metrics import clustering_report
+from repro.shard import ShardContext, shard_objective_batch, shard_view_laplacians
+from repro.solvers import SolverContext
+
+SPEEDUP_FLOOR = 1.5
+SHARD_WORKERS = 4
+
+#: full-mode problem size (the ISSUE's n ~= 10k operating point).
+FULL_N = 10_000
+SMOKE_N = 2_000
+
+#: weight rows in the batch-eigensolve section (an SGLA+ sample stage
+#: plus safeguard candidates' worth of solves).
+BATCH_ROWS = 8
+
+
+def bench_mvag(n: int, seed: int = 0):
+    """3 well-separated clusters, 1 graph view + 2 attribute views."""
+    return generate_mvag(
+        n_nodes=n,
+        n_clusters=3,
+        graph_view_strengths=[0.85],
+        attribute_view_dims=[64, 64],
+        attribute_view_signals=[0.8, 0.7],
+        seed=seed,
+    )
+
+
+def _timed(func, repeats: int):
+    best, result = np.inf, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _csr_equal(a, b) -> bool:
+    return (a != b).nnz == 0
+
+
+def bench_view_builds(mvag, repeats: int) -> dict:
+    """Serial vs sharded multi-view Laplacian construction."""
+    serial_seconds, serial_laps = _timed(
+        lambda: build_view_laplacians(mvag, knn_k=10), repeats
+    )
+    with ShardContext(workers=SHARD_WORKERS) as shard:
+        sharded_seconds, sharded_laps = _timed(
+            lambda: shard_view_laplacians(mvag, shard, knn_k=10), repeats
+        )
+        dispatched = shard.stats.dispatches > 0
+    identical = all(
+        _csr_equal(ours, theirs)
+        for ours, theirs in zip(sharded_laps, serial_laps)
+    )
+    return {
+        "section": "view-builds",
+        "serial_seconds": serial_seconds,
+        "sharded_seconds": sharded_seconds,
+        "speedup": serial_seconds / max(sharded_seconds, 1e-12),
+        "bit_identical": identical,
+        "dispatched": dispatched,
+    }
+
+
+def bench_batch_eigensolves(mvag, repeats: int) -> dict:
+    """Serial-shard vs process-shard weight-batch eigensolves."""
+    stack = StackedLaplacians(build_view_laplacians(mvag, knn_k=10))
+    rng = np.random.default_rng(7)
+    raw = rng.random((BATCH_ROWS, stack.r))
+    rows = raw / raw.sum(axis=1, keepdims=True)
+    t = 4
+
+    def run(workers: int):
+        solver = SolverContext(method="lanczos", seed=0)
+        with ShardContext(workers=workers) as shard:
+            values = shard_objective_batch(
+                stack, rows, t, "lanczos", solver, shard
+            )
+            dispatched = shard.stats.dispatches > 0
+        return values, solver.stats.matvecs, dispatched
+
+    serial_seconds, (serial_values, serial_matvecs, _) = _timed(
+        lambda: run(1), repeats
+    )
+    sharded_seconds, (sharded_values, sharded_matvecs, dispatched) = _timed(
+        lambda: run(SHARD_WORKERS), repeats
+    )
+    identical = all(
+        np.array_equal(ours, theirs)
+        for ours, theirs in zip(sharded_values, serial_values)
+    )
+    return {
+        "section": "batch-eigensolves",
+        "serial_seconds": serial_seconds,
+        "sharded_seconds": sharded_seconds,
+        "speedup": serial_seconds / max(sharded_seconds, 1e-12),
+        "bit_identical": identical and serial_matvecs == sharded_matvecs,
+        "dispatched": dispatched,
+        "batch_rows": BATCH_ROWS,
+        "matvecs": sharded_matvecs,
+    }
+
+
+def bench_end_to_end(mvag) -> dict:
+    """cluster_mvag at shard_workers=1 vs 4: identity + wall clock."""
+    def run(workers: int):
+        config = SGLAConfig(shard_workers=workers)
+        return cluster_mvag(mvag, method="sgla+", config=config)
+
+    serial_seconds, serial_out = _timed(lambda: run(1), 1)
+    sharded_seconds, sharded_out = _timed(lambda: run(SHARD_WORKERS), 1)
+    report = clustering_report(mvag.labels, sharded_out.labels)
+    return {
+        "section": "end-to-end",
+        "serial_seconds": serial_seconds,
+        "sharded_seconds": sharded_seconds,
+        "speedup": serial_seconds / max(sharded_seconds, 1e-12),
+        "bit_identical": bool(
+            np.array_equal(
+                serial_out.integration.weights,
+                sharded_out.integration.weights,
+            )
+            and np.array_equal(serial_out.labels, sharded_out.labels)
+        ),
+        "dispatched": True,
+        "ari_vs_truth": report["ari"],
+    }
+
+
+def bench_cli_identity(n: int) -> dict:
+    """Drive --shard-workers end-to-end through the CLI.
+
+    Saves the benchmark MVAG, clusters it twice (``--shard-workers 1``
+    vs ``--shard-workers 2``), and gates on byte-identical label files
+    and identical reported view weights.
+    """
+    from repro.cli import main
+    from repro.datasets.io import save_mvag
+
+    mvag = bench_mvag(n, seed=1)
+    outputs = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(Path(tmp) / "shard_bench.npz")
+        save_mvag(mvag, path)
+        for workers in (1, 2):
+            labels_path = str(Path(tmp) / f"labels_{workers}.npy")
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                code = main([
+                    "cluster", path, "--method", "sgla+",
+                    "--shard-workers", str(workers),
+                    "--out", labels_path,
+                ])
+            weights_line = next(
+                (line for line in buffer.getvalue().splitlines()
+                 if line.startswith("view weights:")),
+                "",
+            )
+            outputs[workers] = {
+                "exit_code": code,
+                "weights_line": weights_line,
+                "labels": np.load(labels_path),
+            }
+    return {
+        "exit_codes": [outputs[1]["exit_code"], outputs[2]["exit_code"]],
+        "labels_identical": bool(
+            np.array_equal(outputs[1]["labels"], outputs[2]["labels"])
+        ),
+        "weights_line_identical": (
+            outputs[1]["weights_line"] == outputs[2]["weights_line"]
+            and outputs[1]["weights_line"] != ""
+        ),
+        "weights_line": outputs[1]["weights_line"],
+    }
+
+
+def run(smoke: bool = False, capsys=None, echo_json: bool = False) -> bool:
+    n = SMOKE_N if smoke else FULL_N
+    repeats = 1 if not smoke else 2
+    host_cpus = os.cpu_count() or 1
+    mvag = bench_mvag(n)
+
+    sections = [
+        bench_view_builds(mvag, repeats),
+        bench_batch_eigensolves(mvag, repeats),
+        bench_end_to_end(mvag),
+    ]
+    cli = bench_cli_identity(SMOKE_N) if smoke else None
+
+    table = format_table(
+        ["section", "serial (s)", f"shard x{SHARD_WORKERS} (s)", "speedup",
+         "bit-identical", "dispatched"],
+        [
+            (
+                row["section"],
+                row["serial_seconds"],
+                row["sharded_seconds"],
+                f"{row['speedup']:.2f}x",
+                "yes" if row["bit_identical"] else "NO",
+                "yes" if row["dispatched"] else "serial-fallback",
+            )
+            for row in sections
+        ],
+        title=(
+            f"Process-sharded serving vs serial (n={n}, r=3 views, "
+            f"shard_workers={SHARD_WORKERS}, host cores={host_cpus})"
+        ),
+    )
+    text = table
+    if host_cpus < 2:
+        text += (
+            "\n\nNOTE: single-core host — process sharding cannot beat "
+            "serial execution here; the speed gate is skipped and the "
+            "numbers above measure pure dispatch overhead.  The identity "
+            "gates (the determinism contract) are enforced regardless."
+        )
+    if cli is not None:
+        text += (
+            f"\n\nCLI end-to-end identity (--shard-workers 1 vs 2): "
+            f"labels {'identical' if cli['labels_identical'] else 'DIFFER'}"
+            f", {cli['weights_line']}"
+        )
+
+    name = "shard" + ("_smoke" if smoke else "")
+    emit(name, text, capsys)
+    speed_gate_active = (not smoke) and host_cpus >= 2
+    payload = {
+        "mode": "smoke" if smoke else "full",
+        "host": {"cpu_count": host_cpus},
+        "config": {
+            "n": n,
+            "views": 3,
+            "shard_workers": SHARD_WORKERS,
+            "batch_rows": BATCH_ROWS,
+        },
+        "gates": {
+            "bit_identity": True,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "speed_gate_active": speed_gate_active,
+            "speed_gate_skipped_single_core": (
+                (not smoke) and host_cpus < 2
+            ),
+        },
+        "sections": sections,
+    }
+    if cli is not None:
+        payload["cli_identity"] = {
+            key: value for key, value in cli.items() if key != "labels"
+        }
+    emit_json(name, payload, echo=echo_json)
+
+    ok = True
+    for row in sections:
+        if not row["bit_identical"]:
+            print(f"FAIL: {row['section']} sharded output not bit-identical")
+            ok = False
+        if speed_gate_active and row["section"] != "end-to-end" and (
+            row["speedup"] < SPEEDUP_FLOOR
+        ):
+            print(
+                f"FAIL: {row['section']} speedup {row['speedup']:.2f}x "
+                f"below {SPEEDUP_FLOOR}x on a {host_cpus}-core host"
+            )
+            ok = False
+    if cli is not None:
+        if cli["exit_codes"] != [0, 0]:
+            print("FAIL: CLI sharded run exited nonzero")
+            ok = False
+        if not cli["labels_identical"] or not cli["weights_line_identical"]:
+            print("FAIL: CLI sharded vs serial output not identical")
+            ok = False
+    return ok
+
+
+def test_shard(benchmark, capsys):
+    assert benchmark.pedantic(run, args=(False, capsys), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    echo_json = "--json" in sys.argv
+    sys.exit(0 if run(smoke=smoke, echo_json=echo_json) else 1)

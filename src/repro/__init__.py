@@ -40,6 +40,9 @@ from repro.evaluation.clustering_metrics import clustering_report
 from repro.neighbors import NeighborStats, RPForest
 from repro.neighbors import available_backends as available_knn_backends
 from repro.neighbors import register_backend as register_knn_backend
+from repro.shard import ShardContext, ShardPlan, ShardStats
+from repro.shard import available_backends as available_shard_backends
+from repro.shard import register_backend as register_shard_backend
 from repro.solvers import (
     SolverContext,
     SolverStats,
@@ -78,11 +81,16 @@ __all__ = [
     "evaluate_embedding",
     "NeighborStats",
     "RPForest",
+    "ShardContext",
+    "ShardPlan",
+    "ShardStats",
     "SolverContext",
     "SolverStats",
     "available_backends",
     "available_knn_backends",
+    "available_shard_backends",
     "register_backend",
     "register_knn_backend",
+    "register_shard_backend",
     "__version__",
 ]

@@ -40,6 +40,7 @@ from repro.evaluation.classification import evaluate_embedding
 from repro.evaluation.clustering_metrics import clustering_report
 from repro.neighbors import NeighborStats
 from repro.neighbors import available_backends as available_knn_backends
+from repro.shard import shard_scope
 from repro.solvers import available_backends
 from repro.utils.errors import ReproError
 
@@ -124,6 +125,16 @@ def _add_solver_args(subparser) -> None:
         "paper's exhaustive construction; 'rp-forest' is O(n log n) "
         "approximate search; 'auto' switches by problem size)",
     )
+    subparser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        help="process budget of the sharded execution subsystem "
+        "(repro.shard): view Laplacian builds and SGLA+ weight-batch "
+        "eigensolves fan out over a persistent process pool with "
+        "shared-memory transfer; results are bit-identical for every "
+        "value >= 1 (unset/0 disables sharding)",
+    )
 
 
 def _solver_config(args, **extra) -> SGLAConfig:
@@ -136,6 +147,7 @@ def _solver_config(args, **extra) -> SGLAConfig:
         eigen_backend=backend,
         solver_workers=args.solver_workers,
         tol_ladder=args.tol_ladder,
+        shard_workers=args.shard_workers,
         **extra,
     )
 
@@ -170,15 +182,19 @@ def _cmd_cluster(args) -> int:
     config = _solver_config(args, gamma=args.gamma)
     solver = config.make_solver()
     neighbor_stats = NeighborStats()
-    output = cluster_mvag(
-        mvag,
-        k=args.k,
-        method=args.method,
-        config=config,
-        seed=args.seed,
-        solver=solver,
-        neighbor_stats=neighbor_stats,
-    )
+    # shard_scope owns the context's lifecycle; its stats stay readable
+    # after close for the summary line below.
+    with shard_scope(config, None) as shard:
+        output = cluster_mvag(
+            mvag,
+            k=args.k,
+            method=args.method,
+            config=config,
+            seed=args.seed,
+            solver=solver,
+            neighbor_stats=neighbor_stats,
+            shard=shard,
+        )
     if output.integration.weights is not None:
         weights = np.round(output.integration.weights, 4)
         print(f"view weights: {weights.tolist()}")
@@ -186,6 +202,8 @@ def _cmd_cluster(args) -> int:
     print(f"solver: {solver.stats.summary()}")
     if neighbor_stats.builds:
         print(f"neighbors: {neighbor_stats.summary()}")
+    if shard is not None:
+        print(f"shard: {shard.stats.summary()}")
     if mvag.labels is not None:
         report = clustering_report(mvag.labels, output.labels)
         for metric, value in report.items():
@@ -201,21 +219,25 @@ def _cmd_embed(args) -> int:
     config = _solver_config(args)
     solver = config.make_solver()
     neighbor_stats = NeighborStats()
-    output = embed_mvag(
-        mvag,
-        dim=args.dim,
-        method=args.method,
-        config=config,
-        backend=args.backend,
-        seed=args.seed,
-        solver=solver,
-        neighbor_stats=neighbor_stats,
-    )
+    with shard_scope(config, None) as shard:
+        output = embed_mvag(
+            mvag,
+            dim=args.dim,
+            method=args.method,
+            config=config,
+            backend=args.backend,
+            seed=args.seed,
+            solver=solver,
+            neighbor_stats=neighbor_stats,
+            shard=shard,
+        )
     print(f"backend: {output.backend}")
     print(f"embedding shape: {output.embedding.shape}")
     print(f"solver: {solver.stats.summary()}")
     if neighbor_stats.builds:
         print(f"neighbors: {neighbor_stats.summary()}")
+    if shard is not None:
+        print(f"shard: {shard.stats.summary()}")
     if mvag.labels is not None:
         report = evaluate_embedding(output.embedding, mvag.labels, seed=args.seed)
         print(f"macro_f1 {report['macro_f1']:.4f}")

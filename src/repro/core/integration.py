@@ -30,6 +30,7 @@ from repro.core.sgla import SGLA, SGLAConfig, prepare_laplacians
 from repro.core.sgla_plus import SGLAPlus
 from repro.neighbors import NeighborStats
 from repro.optim.driver import minimize_on_simplex
+from repro.shard import ShardContext, shard_scope
 from repro.solvers import SolverContext, SolverStats
 from repro.utils.errors import ValidationError
 
@@ -64,6 +65,7 @@ def integrate(
     config: Optional[SGLAConfig] = None,
     solver: Optional[SolverContext] = None,
     neighbor_stats: Optional[NeighborStats] = None,
+    shard: Optional[ShardContext] = None,
 ) -> IntegrationResult:
     """Integrate all views of ``mvag`` into one Laplacian.
 
@@ -85,19 +87,41 @@ def integrate(
         Optional shared :class:`repro.neighbors.NeighborStats`
         accumulating the KNN-build counters of the attribute views
         (created fresh when omitted, and attached to the result).
+    shard:
+        Optional shared :class:`repro.shard.ShardContext` partitioning
+        view builds and weight-batch eigensolves over a process pool
+        (DESIGN.md §10); built from the config when omitted and
+        ``config.shard_workers`` is set, and closed before returning in
+        that case.
     """
     if method not in INTEGRATION_METHODS:
         raise ValidationError(
             f"method must be one of {INTEGRATION_METHODS}, got {method!r}"
         )
     config = config or SGLAConfig()
+    with shard_scope(config, shard) as scoped:
+        return _integrate(
+            mvag, k, method, config, solver, neighbor_stats, scoped
+        )
+
+
+def _integrate(
+    mvag: MVAG,
+    k: Optional[int],
+    method: str,
+    config: SGLAConfig,
+    solver: Optional[SolverContext],
+    neighbor_stats: Optional[NeighborStats],
+    shard: Optional[ShardContext],
+) -> IntegrationResult:
     if neighbor_stats is None:
         neighbor_stats = NeighborStats()
     start = time.perf_counter()
 
     if method == "sgla":
         result = SGLA(config).fit(
-            mvag, k=k, solver=solver, neighbor_stats=neighbor_stats
+            mvag, k=k, solver=solver, neighbor_stats=neighbor_stats,
+            shard=shard,
         )
         return IntegrationResult(
             laplacian=result.laplacian,
@@ -111,7 +135,8 @@ def integrate(
         )
     if method == "sgla+":
         result = SGLAPlus(config).fit(
-            mvag, k=k, solver=solver, neighbor_stats=neighbor_stats
+            mvag, k=k, solver=solver, neighbor_stats=neighbor_stats,
+            shard=shard,
         )
         return IntegrationResult(
             laplacian=result.laplacian,
@@ -125,12 +150,12 @@ def integrate(
         )
     if method in ("eigengap", "connectivity"):
         return _single_objective(
-            mvag, k, method, config, start, solver, neighbor_stats
+            mvag, k, method, config, start, solver, neighbor_stats, shard
         )
     if method == "equal":
         laplacians, _ = prepare_laplacians(
             mvag, k or mvag.n_classes or 2, config,
-            neighbor_stats=neighbor_stats,
+            neighbor_stats=neighbor_stats, shard=shard,
         )
         weights = np.full(len(laplacians), 1.0 / len(laplacians))
         laplacian = aggregate_laplacians(laplacians, weights)
@@ -167,10 +192,11 @@ def _single_objective(
     start: float,
     solver: Optional[SolverContext] = None,
     neighbor_stats: Optional[NeighborStats] = None,
+    shard: Optional[ShardContext] = None,
 ) -> IntegrationResult:
     """Optimize the eigengap-only or connectivity-only objective (Fig. 11)."""
     laplacians, k = prepare_laplacians(
-        mvag, k, config, neighbor_stats=neighbor_stats
+        mvag, k, config, neighbor_stats=neighbor_stats, shard=shard
     )
     solver = solver or config.make_solver()
     objective = SpectralObjective(
@@ -181,6 +207,7 @@ def _single_objective(
         fast_path=config.fast_path,
         matrix_free=config.matrix_free,
         solver=solver,
+        shard=shard,
     )
     func = objective_variant(objective, variant)
     outcome = minimize_on_simplex(

@@ -65,6 +65,7 @@ def build_view_laplacians(
     knn_backend: str = "exact",
     knn_params=None,
     neighbor_stats=None,
+    shard=None,
 ) -> List[sp.csr_matrix]:
     """Compute the ``r`` view Laplacians of an MVAG (paper Section III-B).
 
@@ -75,11 +76,30 @@ def build_view_laplacians(
     ``knn_backend`` / ``knn_params`` select the neighbor-search backend
     from the :mod:`repro.neighbors` registry (DESIGN.md §9), and
     ``neighbor_stats`` optionally accumulates build counters and the
-    sampled recall estimate across the attribute views.
+    sampled recall estimate across the attribute views.  ``shard``
+    optionally names a :class:`repro.shard.ShardContext` (DESIGN.md §10)
+    that partitions the per-view builds over its process pool — output
+    and stats are bit-identical to the in-process path for every worker
+    count.
 
     Returns the Laplacians in paper order: graph views first, then
     attribute views.
     """
+    if shard is not None:
+        # Local import: repro.shard.tasks reaches back into this module
+        # from its worker functions.
+        from repro.shard.api import shard_view_laplacians
+
+        return shard_view_laplacians(
+            mvag,
+            shard,
+            knn_k=knn_k,
+            knn_block_size=knn_block_size,
+            workers=workers,
+            knn_backend=knn_backend,
+            knn_params=knn_params,
+            neighbor_stats=neighbor_stats,
+        )
     laplacians = [normalized_laplacian(a) for a in mvag.graph_views]
     laplacians.extend(
         normalized_laplacian(

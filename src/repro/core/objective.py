@@ -36,6 +36,7 @@ import scipy.sparse as sp
 
 from repro.core.fastpath import StackedLaplacians
 from repro.core.laplacian import aggregate_laplacians
+from repro.shard.api import shard_objective_batch
 from repro.solvers import SolverContext
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_weights
@@ -127,6 +128,13 @@ class SpectralObjective:
         it owns backend choice, warm-start blocks, and statistics (the
         ``eigen_method`` / ``warm_start`` arguments are then ignored);
         when omitted a private context is built from those arguments.
+    shard:
+        Optional :class:`repro.shard.ShardContext`.  When given,
+        :meth:`evaluate_batch` partitions its distinct eigensolves over
+        the context's process pool using the ``batch`` backend's
+        shared-seeding scheme (DESIGN.md §10) — bit-identical for every
+        worker count, including the in-process serial fallback.  Only
+        the fast path batches; single evaluations are never sharded.
     """
 
     def __init__(
@@ -141,6 +149,7 @@ class SpectralObjective:
         matrix_free: bool = False,
         warm_start: bool = True,
         solver: Optional[SolverContext] = None,
+        shard=None,
     ) -> None:
         if len(laplacians) == 0:
             raise ValidationError("need at least one view Laplacian")
@@ -162,6 +171,7 @@ class SpectralObjective:
                 method=eigen_method, seed=seed, warm_start=warm_start
             )
         self.solver = solver
+        self.shard = shard
         self.eigen_method = solver.method
         self.warm_start = solver.warm_start
         self._cache_enabled = bool(cache)
@@ -386,44 +396,75 @@ class SpectralObjective:
             unique = list(pending.items())
             weight_rows = np.asarray([points[ids[0]] for _, ids in unique])
             method = self._resolved_eigen_method()
-            chunk = self.stack.batch_rows()
-            for start in range(0, len(unique), chunk):
-                data_rows = self.stack.combine_many(
-                    weight_rows[start : start + chunk]
+            if self.shard is not None:
+                # Sharded batch (DESIGN.md §10): the ``batch`` backend's
+                # shared-seeding scheme at process level — the seed row
+                # is solved in-parent, every other row is an independent
+                # problem dispatched over the shard context, so the
+                # values are bit-identical for every worker count.
+                # Chunking, seeding, and per-solve stats recording
+                # happen in :func:`repro.shard.api.shard_objective_batch`.
+                value_rows = shard_objective_batch(
+                    self.stack, weight_rows, self.k + 1, method,
+                    self.solver, self.shard,
                 )
-                chunk_items = unique[start : start + chunk]
-                matrices = [self.stack.with_data(row) for row in data_rows]
-                if method == "batch":
-                    # Native batch path: one threaded, seed-shared call
-                    # for the whole chunk (repro.solvers.batch).
-                    solved = self.solver.solve_many(
-                        matrices, self.k + 1, want_vectors=False
+                n_solves += self._store_solved_rows(
+                    value_rows, unique, points, results
+                )
+            else:
+                chunk = self.stack.batch_rows()
+                for start in range(0, len(unique), chunk):
+                    data_rows = self.stack.combine_many(
+                        weight_rows[start : start + chunk]
                     )
-                    value_rows = [values for values, _ in solved]
-                elif method == "dense":
-                    value_rows = [
-                        self.solver.eigenvalues(
-                            matrix, self.k + 1, method="dense", warm=False
+                    chunk_items = unique[start : start + chunk]
+                    matrices = [
+                        self.stack.with_data(row) for row in data_rows
+                    ]
+                    if method == "batch":
+                        # Native batch path: one threaded, seed-shared
+                        # call for the whole chunk (repro.solvers.batch).
+                        solved = self.solver.solve_many(
+                            matrices, self.k + 1, want_vectors=False
                         )
-                        for matrix in matrices
-                    ]
-                else:
-                    value_rows = [
-                        self._solve_prepared(matrix, method)
-                        for matrix in matrices
-                    ]
-                for eigenvalues, (key, indices) in zip(
-                    value_rows, chunk_items
-                ):
-                    weights = points[indices[0]]
-                    self.n_evaluations += 1
-                    n_solves += 1
-                    component = self._components_from(weights, eigenvalues)
-                    self._cache_store(key, component)
-                    for i in indices:
-                        results[i] = component
+                        value_rows = [values for values, _ in solved]
+                    elif method == "dense":
+                        value_rows = [
+                            self.solver.eigenvalues(
+                                matrix, self.k + 1, method="dense",
+                                warm=False,
+                            )
+                            for matrix in matrices
+                        ]
+                    else:
+                        value_rows = [
+                            self._solve_prepared(matrix, method)
+                            for matrix in matrices
+                        ]
+                    n_solves += self._store_solved_rows(
+                        value_rows, chunk_items, points, results
+                    )
         self.solver.note_saved(len(points) - n_solves)
         return list(results), n_solves
+
+    def _store_solved_rows(
+        self, value_rows, items, points, results
+    ) -> int:
+        """Fold solved eigenvalue rows into components, cache, results.
+
+        The single accounting point shared by the sharded and
+        in-process batch branches: one ``n_evaluations`` tick, one
+        tolerance-tagged cache store, and the duplicate fan-out per
+        distinct weight vector.  Returns the number of rows absorbed.
+        """
+        for eigenvalues, (key, indices) in zip(value_rows, items):
+            weights = points[indices[0]]
+            self.n_evaluations += 1
+            component = self._components_from(weights, eigenvalues)
+            self._cache_store(key, component)
+            for i in indices:
+                results[i] = component
+        return len(value_rows)
 
     def __call__(self, weights) -> float:
         """Evaluate ``h(w)`` (Eq. 5)."""

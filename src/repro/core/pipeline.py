@@ -23,6 +23,7 @@ from repro.core.sgla import SGLAConfig
 from repro.embedding.netmf import _DENSE_NODE_LIMIT, netmf_from_laplacian
 from repro.embedding.sketchne import sketchne_embedding
 from repro.neighbors import NeighborStats
+from repro.shard import ShardContext, shard_scope
 from repro.solvers import SolverContext
 from repro.utils.errors import ValidationError
 
@@ -63,6 +64,7 @@ def cluster_mvag(
     fast_path: Optional[bool] = None,
     solver: Optional[SolverContext] = None,
     neighbor_stats: Optional[NeighborStats] = None,
+    shard: Optional[ShardContext] = None,
 ) -> ClusterOutput:
     """Cluster an MVAG end to end.
 
@@ -89,16 +91,22 @@ def cluster_mvag(
     neighbor_stats:
         Optional shared :class:`repro.neighbors.NeighborStats`
         accumulating the KNN-build counters of the integration stage.
+    shard:
+        Optional shared :class:`repro.shard.ShardContext` (DESIGN.md
+        §10); built from ``config.shard_workers`` when omitted (and then
+        closed before returning), so one persistent process pool serves
+        the whole pipeline invocation.
     """
     if k is None:
         k = mvag.n_classes
     if k is None:
         raise ValidationError("k must be given for an unlabeled MVAG")
     config = _resolve_config(config, fast_path)
-    integration = integrate(
-        mvag, k=k, method=method, config=config, solver=solver,
-        neighbor_stats=neighbor_stats,
-    )
+    with shard_scope(config or SGLAConfig(), shard) as scoped:
+        integration = integrate(
+            mvag, k=k, method=method, config=config, solver=solver,
+            neighbor_stats=neighbor_stats, shard=scoped,
+        )
     labels = spectral_clustering(
         integration.laplacian, k=k, assign=assign, seed=seed, solver=solver
     )
@@ -116,6 +124,7 @@ def embed_mvag(
     fast_path: Optional[bool] = None,
     solver: Optional[SolverContext] = None,
     neighbor_stats: Optional[NeighborStats] = None,
+    shard: Optional[ShardContext] = None,
 ) -> EmbedOutput:
     """Embed an MVAG end to end.
 
@@ -135,16 +144,21 @@ def embed_mvag(
     neighbor_stats:
         Optional shared :class:`repro.neighbors.NeighborStats`
         accumulating the KNN-build counters of the integration stage.
+    shard:
+        Optional shared :class:`repro.shard.ShardContext` (DESIGN.md
+        §10); built from ``config.shard_workers`` when omitted (and then
+        closed before returning).
     """
     if k is None:
         k = mvag.n_classes
     if k is None:
         raise ValidationError("k must be given for an unlabeled MVAG")
     config = _resolve_config(config, fast_path)
-    integration = integrate(
-        mvag, k=k, method=method, config=config, solver=solver,
-        neighbor_stats=neighbor_stats,
-    )
+    with shard_scope(config or SGLAConfig(), shard) as scoped:
+        integration = integrate(
+            mvag, k=k, method=method, config=config, solver=solver,
+            neighbor_stats=neighbor_stats, shard=scoped,
+        )
     laplacian = integration.laplacian
 
     if backend == "auto":

@@ -21,6 +21,7 @@ from repro.core.mvag import MVAG
 from repro.core.objective import LADDER_COARSE_TOL, SpectralObjective
 from repro.neighbors import NeighborStats
 from repro.optim.driver import minimize_on_simplex
+from repro.shard import ShardContext, shard_scope
 from repro.solvers import SolverContext, SolverStats
 from repro.utils.errors import ValidationError
 
@@ -94,6 +95,18 @@ class SGLAConfig:
         SGLA+ uses it for its sampling stage regardless of optimizer.
     ladder_coarse_tol:
         Eigensolve tolerance of the ladder's coarsest rung.
+    shard_workers:
+        Process budget of the sharded execution subsystem (DESIGN.md
+        §10).  ``None`` / ``0`` disables sharding entirely (the classic
+        in-process pipeline); ``1`` selects the shard execution plan but
+        runs it serially in-process (the determinism reference); ``>= 2``
+        fans view Laplacian builds and SGLA+ weight-batch eigensolves
+        out over a persistent process pool with shared-memory payload
+        transfer.  Results are bit-identical for every value ``>= 1``.
+    shard_backend:
+        Dispatch strategy from the :mod:`repro.shard` registry
+        (``"process"`` default; ``"serial"`` forces in-process execution
+        at any worker count, for debugging and plugins).
     """
 
     gamma: float = 0.5
@@ -115,6 +128,8 @@ class SGLAConfig:
     warm_start: bool = True
     tol_ladder: bool = False
     ladder_coarse_tol: float = LADDER_COARSE_TOL
+    shard_workers: Optional[int] = None
+    shard_backend: str = "process"
 
     def __post_init__(self) -> None:
         if self.eps <= 0:
@@ -130,6 +145,10 @@ class SGLAConfig:
                 f"ladder_coarse_tol must be positive, "
                 f"got {self.ladder_coarse_tol}"
             )
+        if self.shard_workers is not None and self.shard_workers < 0:
+            raise ValidationError(
+                f"shard_workers must be >= 0, got {self.shard_workers}"
+            )
 
     @property
     def resolved_eigen_backend(self) -> str:
@@ -143,6 +162,20 @@ class SGLAConfig:
             seed=self.seed,
             warm_start=self.warm_start,
             max_workers=self.solver_workers,
+        )
+
+    def make_shard(self) -> Optional[ShardContext]:
+        """A fresh :class:`repro.shard.ShardContext` for one run.
+
+        ``None`` when sharding is disabled (``shard_workers`` unset or
+        0); the caller that creates the context owns its :meth:`~repro.
+        shard.ShardContext.close` (the pipeline entry points do this
+        automatically when no context is passed in).
+        """
+        if not self.shard_workers:
+            return None
+        return ShardContext(
+            workers=self.shard_workers, backend=self.shard_backend
         )
 
 
@@ -191,6 +224,7 @@ def prepare_laplacians(
     k: Optional[int],
     config: SGLAConfig,
     neighbor_stats: Optional[NeighborStats] = None,
+    shard: Optional[ShardContext] = None,
 ) -> Tuple[List[sp.csr_matrix], int]:
     """Normalize solver input into (view Laplacians, cluster count).
 
@@ -198,7 +232,8 @@ def prepare_laplacians(
     using ``config.knn_k`` through the ``config.knn_backend`` neighbor
     search, with build counters recorded into ``neighbor_stats``) or a
     pre-built sequence of view Laplacians.  ``k`` defaults to the MVAG's
-    label count when available.
+    label count when available.  With a ``shard`` context the per-view
+    builds are partitioned over its process pool (bit-identical output).
     """
     if isinstance(data, MVAG):
         laplacians = build_view_laplacians(
@@ -208,6 +243,7 @@ def prepare_laplacians(
             knn_backend=config.knn_backend,
             knn_params=config.knn_params,
             neighbor_stats=neighbor_stats,
+            shard=shard,
         )
         if k is None:
             k = data.n_classes
@@ -252,6 +288,7 @@ class SGLA:
         k: Optional[int] = None,
         solver: Optional[SolverContext] = None,
         neighbor_stats: Optional[NeighborStats] = None,
+        shard: Optional[ShardContext] = None,
     ) -> SGLAResult:
         """Run Algorithm 1 and return the integrated Laplacian and weights.
 
@@ -259,14 +296,29 @@ class SGLA:
         (warm-start blocks + statistics) with the caller; by default a
         fresh context is built from the config.  ``neighbor_stats``
         likewise shares the KNN-build counters (a fresh one is created
-        when the input is an MVAG).
+        when the input is an MVAG).  ``shard`` optionally shares a
+        :class:`repro.shard.ShardContext` (persistent process pool +
+        dispatch stats); by default one is built from the config when
+        ``shard_workers`` is set, and closed before returning.
         """
         start = time.perf_counter()
+        with shard_scope(self.config, shard) as scoped:
+            return self._fit(data, k, solver, neighbor_stats, scoped, start)
+
+    def _fit(
+        self,
+        data: InputLike,
+        k: Optional[int],
+        solver: Optional[SolverContext],
+        neighbor_stats: Optional[NeighborStats],
+        shard: Optional[ShardContext],
+        start: float,
+    ) -> SGLAResult:
         config = self.config
         if neighbor_stats is None and isinstance(data, MVAG):
             neighbor_stats = NeighborStats()
         laplacians, k = prepare_laplacians(
-            data, k, config, neighbor_stats=neighbor_stats
+            data, k, config, neighbor_stats=neighbor_stats, shard=shard
         )
         solver = solver or config.make_solver()
         objective = SpectralObjective(
@@ -277,6 +329,7 @@ class SGLA:
             fast_path=config.fast_path,
             matrix_free=config.matrix_free,
             solver=solver,
+            shard=shard,
         )
         # The ladder follows the trust radius, which only the trust-linear
         # optimizer maintains; other backends would run their *entire*

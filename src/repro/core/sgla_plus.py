@@ -31,6 +31,7 @@ from repro.core.surrogate import fit_surrogate
 from repro.neighbors import NeighborStats
 from repro.optim.driver import minimize_on_simplex
 from repro.optim.simplex import project_to_simplex
+from repro.shard import ShardContext, shard_scope
 from repro.solvers import SolverContext
 from repro.utils.errors import ValidationError
 
@@ -91,6 +92,7 @@ class SGLAPlus:
         delta_samples: int = 0,
         solver: Optional[SolverContext] = None,
         neighbor_stats: Optional[NeighborStats] = None,
+        shard: Optional[ShardContext] = None,
     ) -> SGLAResult:
         """Run Algorithm 2.
 
@@ -111,13 +113,33 @@ class SGLAPlus:
             Optional shared :class:`repro.neighbors.NeighborStats`
             accumulating the KNN-build counters (a fresh one is created
             when the input is an MVAG).
+        shard:
+            Optional shared :class:`repro.shard.ShardContext`; view
+            builds and the sample-batch eigensolves are partitioned over
+            its process pool.  A fresh one is built from the config when
+            ``shard_workers`` is set, and closed before returning.
         """
         start = time.perf_counter()
+        with shard_scope(self.config, shard) as scoped:
+            return self._fit(
+                data, k, delta_samples, solver, neighbor_stats, scoped, start
+            )
+
+    def _fit(
+        self,
+        data: InputLike,
+        k: Optional[int],
+        delta_samples: int,
+        solver: Optional[SolverContext],
+        neighbor_stats: Optional[NeighborStats],
+        shard: Optional[ShardContext],
+        start: float,
+    ) -> SGLAResult:
         config = self.config
         if neighbor_stats is None and isinstance(data, MVAG):
             neighbor_stats = NeighborStats()
         laplacians, k = prepare_laplacians(
-            data, k, config, neighbor_stats=neighbor_stats
+            data, k, config, neighbor_stats=neighbor_stats, shard=shard
         )
         solver = solver or config.make_solver()
         objective = SpectralObjective(
@@ -128,6 +150,7 @@ class SGLAPlus:
             fast_path=config.fast_path,
             matrix_free=config.matrix_free,
             solver=solver,
+            shard=shard,
         )
         r = objective.r
 

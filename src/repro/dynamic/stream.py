@@ -36,6 +36,7 @@ from repro.neighbors import (
     normalize_rows,
     resolve_backend,
 )
+from repro.shard import ShardContext, shard_attribute_laplacians
 from repro.utils.errors import ValidationError
 from repro.utils.sparse import ensure_csr
 
@@ -104,6 +105,20 @@ class DynamicMVAG:
     knn_params:
         Backend-specific knobs forwarded to :func:`repro.core.knn.
         knn_graph`.
+    shard:
+        Optional :class:`repro.shard.ShardContext` (not owned; the
+        caller closes it).  When set — or when ``shard_workers`` is
+        given, in which case an owned context is created lazily and
+        released by :meth:`close` — a streaming refresh that leaves
+        multiple attribute views dirty rebuilds their KNN Laplacians in
+        parallel over the process pool, one shard per view, using the
+        cached row-normalized features (bit-identical to the in-process
+        rebuild).  Views with a live incremental rp-forest keep the
+        in-process path: their per-row rerouting state lives in this
+        process and beats any rebuild.
+    shard_workers, shard_backend:
+        Shortcut that lazily creates an owned context (mirrors
+        :class:`repro.core.sgla.SGLAConfig`).
 
     Notes
     -----
@@ -117,6 +132,9 @@ class DynamicMVAG:
         knn_k: int = 10,
         knn_backend: str = "exact",
         knn_params: Optional[dict] = None,
+        shard: Optional[ShardContext] = None,
+        shard_workers: Optional[int] = None,
+        shard_backend: str = "process",
     ) -> None:
         self._n = mvag.n_nodes
         self._knn_k = int(knn_k)
@@ -142,6 +160,13 @@ class DynamicMVAG:
         self._forests: Dict[int, RPForest] = {}
         #: KNN-build counters across streaming rebuilds (observable).
         self.neighbor_stats = NeighborStats()
+        self._shard = shard
+        self._owns_shard = False
+        if shard is None and shard_workers:
+            self._shard = ShardContext(
+                workers=shard_workers, backend=shard_backend
+            )
+            self._owns_shard = True
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -296,9 +321,66 @@ class DynamicMVAG:
             assume_normalized=True,
         )
 
+    def _sharded_attribute_refresh(self) -> None:
+        """Rebuild every stale attribute-view Laplacian in one dispatch.
+
+        One shard per dirty view, using the cached normalized features;
+        bit-identical to the per-view in-process rebuild.  Views served
+        by a live incremental rp-forest are skipped — their rerouting
+        state lives in this process and outperforms any rebuild — as is
+        a single dirty view (nothing to fan out over).
+        """
+        shard = self._shard
+        if shard is None:
+            return
+        offset = len(self._graphs)
+        resolved = resolve_backend(
+            self._n,
+            min(self._knn_k, self._n - 1),
+            self._knn_backend,
+            self._knn_params,
+        )
+        if resolved == "rp-forest":
+            return
+        pending = [
+            attr_index
+            for attr_index in range(len(self._attributes))
+            if offset + attr_index not in self._laplacians
+        ]
+        if len(pending) < 2:
+            return
+        for attr_index in pending:
+            if attr_index not in self._normalized:
+                self._normalized[attr_index] = normalize_rows(
+                    self._attributes[attr_index]
+                )
+        laplacians = shard_attribute_laplacians(
+            [self._normalized[attr_index] for attr_index in pending],
+            shard,
+            knn_k=self._knn_k,
+            knn_backend=self._knn_backend,
+            knn_params=self._knn_params,
+            neighbor_stats=self.neighbor_stats,
+        )
+        for attr_index, laplacian in zip(pending, laplacians):
+            self._laplacians[offset + attr_index] = laplacian
+            self._attr_graph_dirty[attr_index] = False
+
     def view_laplacians(self) -> List[sp.csr_matrix]:
-        """All current view Laplacians, paper order."""
+        """All current view Laplacians, paper order.
+
+        With a shard context, stale attribute views are refreshed in one
+        parallel dispatch first (:meth:`_sharded_attribute_refresh`);
+        everything still missing is then built in-process as before.
+        """
+        self._sharded_attribute_refresh()
         return [self.view_laplacian(i) for i in range(self.n_views)]
+
+    def close(self) -> None:
+        """Release the owned shard context (no-op when none is owned)."""
+        if self._owns_shard and self._shard is not None:
+            self._shard.close()
+            self._shard = None
 
     def snapshot(self) -> MVAG:
         """An immutable MVAG snapshot of the current state."""

@@ -85,6 +85,35 @@ class NeighborStats:
         self.recall_hits += int(hits)
         self.recall_total += int(total)
 
+    def merge(self, other: "NeighborStats") -> "NeighborStats":
+        """Fold ``other``'s counters into this object.
+
+        Sharded view builds accumulate per-worker :class:`NeighborStats`
+        and merge them back in view order, so the aggregate equals what
+        a single-process run would have recorded.  ``recall_sample`` is
+        configuration, not a counter — this object's setting is kept.
+        Aliasing-safe: counters (including the ``by_backend`` map) are
+        snapshotted before any mutation, so ``stats.merge(stats)``
+        doubles cleanly instead of double-counting mid-iteration.
+        """
+        snapshot = (
+            other.builds, other.nodes, other.candidate_pairs,
+            other.exhaustive_pairs, other.recall_hits, other.recall_total,
+            dict(other.by_backend),
+        )
+        self.builds += snapshot[0]
+        self.nodes += snapshot[1]
+        self.candidate_pairs += snapshot[2]
+        self.exhaustive_pairs += snapshot[3]
+        self.recall_hits += snapshot[4]
+        self.recall_total += snapshot[5]
+        for name, count in snapshot[6].items():
+            self.by_backend[name] = self.by_backend.get(name, 0) + count
+        return self
+
+    def __iadd__(self, other: "NeighborStats") -> "NeighborStats":
+        return self.merge(other)
+
     @property
     def candidate_fraction(self) -> float:
         """Similarity evaluations relative to exhaustive ``n (n - 1)``."""

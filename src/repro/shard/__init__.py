@@ -1,0 +1,77 @@
+"""Process-sharded execution subsystem (DESIGN.md §10).
+
+Partitions the pipeline's two bulk workloads — per-view Laplacian/KNN
+builds and per-weight-batch eigensolves — over a persistent process pool
+with shared-memory zero-copy payload transfer, behind the same
+string-keyed registry pattern as :mod:`repro.solvers` and
+:mod:`repro.neighbors`:
+
+* :class:`ShardPlan` — deterministic partitioning (contiguous or
+  cost-balanced) whose output order never depends on the worker count;
+* :class:`ShardContext` — per-run state: the lazy persistent
+  ``ProcessPoolExecutor``, shared-memory segment lifecycle, serial
+  fallback policy, and :class:`ShardStats` counters;
+* backends ``"process"`` / ``"serial"`` (:mod:`repro.shard.backends`),
+  registered in :mod:`repro.shard.registry`;
+* :func:`shard_view_laplacians` / :func:`shard_objective_batch` — the
+  entry points ``build_view_laplacians`` and
+  ``SpectralObjective.evaluate_batch`` dispatch through when a context
+  is threaded in (``SGLAConfig(shard_workers=...)``, CLI
+  ``--shard-workers``).
+
+Determinism contract: a sharded run's ``w*`` / labels are bit-identical
+for **every** ``shard_workers >= 1`` value, including the in-process
+serial fallback, because every task is an independent deterministic
+function of its payload and results are reassembled in global item
+order (see DESIGN.md §10).
+"""
+
+from repro.shard.api import (
+    shard_attribute_laplacians,
+    shard_objective_batch,
+    shard_view_laplacians,
+)
+from repro.shard.base import ShardBackend, ShardStats, run_shard_items
+from repro.shard.backends import ProcessShardBackend, SerialShardBackend
+from repro.shard.context import (
+    MIN_SHARD_BYTES,
+    MIN_SHARD_ITEMS,
+    ShardContext,
+    default_shard_workers,
+    shard_scope,
+)
+from repro.shard.plan import ShardPlan
+from repro.shard.registry import (
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.shard.shm import ArraySpec, attached, create_segment, inline_spec
+from repro.utils.errors import ShardError
+
+__all__ = [
+    "ArraySpec",
+    "MIN_SHARD_BYTES",
+    "MIN_SHARD_ITEMS",
+    "ProcessShardBackend",
+    "SerialShardBackend",
+    "ShardBackend",
+    "ShardContext",
+    "ShardError",
+    "ShardPlan",
+    "ShardStats",
+    "attached",
+    "available_backends",
+    "create_segment",
+    "default_shard_workers",
+    "get_backend",
+    "inline_spec",
+    "register_backend",
+    "run_shard_items",
+    "shard_attribute_laplacians",
+    "shard_objective_batch",
+    "shard_scope",
+    "shard_view_laplacians",
+    "unregister_backend",
+]

@@ -1,0 +1,147 @@
+"""The two built-in shard backends: ``serial`` and ``process``.
+
+``serial`` executes the shard plan in-process, shard by shard, in shard
+order.  ``process`` fans the shards out over the context's persistent
+``ProcessPoolExecutor``.  Both call the *same*
+:func:`repro.shard.base.run_shard_items` on the same payloads and both
+reassemble results in global item order, so their numerical output is
+bitwise identical — ``serial`` is simultaneously the debugging backend,
+the graceful fallback, and the reference the process backend's
+determinism is tested against.
+
+Failure semantics of ``process`` (tested in ``tests/test_shard.py``): a
+task that raises inside a worker, a worker killed mid-task
+(``BrokenProcessPool``), and a dispatch exceeding the context's timeout
+all surface as one clean :class:`repro.utils.errors.ShardError` naming
+the shard — never a hang — and the context's pool is torn down so the
+next dispatch starts from a fresh, unpoisoned pool.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, List, Optional
+
+from repro.shard.base import ShardBackend, TaskFunc, run_shard_items
+from repro.shard.plan import ShardPlan
+from repro.shard.registry import register_backend
+from repro.utils.errors import ReproError, ShardError
+
+
+def _reassemble(
+    plan: ShardPlan, per_shard_results: List[List[Any]]
+) -> List[Any]:
+    """Scatter per-shard result lists back into global item order."""
+    out: List[Any] = [None] * plan.n_items
+    for indices, results in zip(plan.assignments(), per_shard_results):
+        for index, result in zip(indices, results):
+            out[index] = result
+    return out
+
+
+class SerialShardBackend(ShardBackend):
+    """Execute the plan in-process (reference semantics, zero overhead)."""
+
+    name = "serial"
+
+    def run(
+        self,
+        func: TaskFunc,
+        items: List[Any],
+        common: Optional[dict],
+        plan: ShardPlan,
+        context,
+    ) -> List[Any]:
+        per_shard = [
+            run_shard_items(func, [items[i] for i in indices], common)
+            for indices in plan.assignments()
+        ]
+        return _reassemble(plan, per_shard)
+
+
+class ProcessShardBackend(ShardBackend):
+    """Fan shards out over the context's persistent process pool."""
+
+    name = "process"
+
+    def run(
+        self,
+        func: TaskFunc,
+        items: List[Any],
+        common: Optional[dict],
+        plan: ShardPlan,
+        context,
+    ) -> List[Any]:
+        # Reject unpicklable payloads *before* anything enters the pool:
+        # a pickling failure inside the executor's queue-feeder thread
+        # leaves that thread wedged, which turns interpreter shutdown
+        # into a permanent hang (the atexit handler joins it).  Payloads
+        # here are tiny — task refs, shared-memory descriptors, scalars
+        # — so the extra serialization is noise.
+        try:
+            pickle.dumps((func, items, common))
+        except Exception as error:
+            context.stats.failures += 1
+            raise ShardError(
+                f"shard payload is not picklable ({type(error).__name__}: "
+                f"{error}); task functions must be module-level and "
+                "payloads must travel as ArraySpec descriptors"
+            ) from error
+        executor = context.executor()
+        futures = [
+            executor.submit(
+                run_shard_items, func, [items[i] for i in indices], common
+            )
+            for indices in plan.assignments()
+        ]
+        per_shard: List[List[Any]] = []
+        try:
+            for shard, future in enumerate(futures):
+                try:
+                    per_shard.append(future.result(timeout=context.timeout))
+                except ShardError:
+                    raise
+                except ReproError as error:
+                    # Library errors propagate with their own type (a
+                    # ValidationError in a worker is a caller bug, not a
+                    # dispatch failure) — the workers are healthy, so the
+                    # pool is kept (see the except clause below).
+                    raise error
+                except FutureTimeoutError:
+                    raise ShardError(
+                        f"shard {shard}/{plan.n_shards} timed out after "
+                        f"{context.timeout}s"
+                    ) from None
+                except BrokenProcessPool as error:
+                    raise ShardError(
+                        f"shard {shard}/{plan.n_shards} died (worker "
+                        f"process crashed): {error}"
+                    ) from error
+                except Exception as error:
+                    # Only plain exceptions are rebranded; a user
+                    # KeyboardInterrupt / SystemExit keeps its type (the
+                    # outer handler still tears the pool down for it).
+                    raise ShardError(
+                        f"shard {shard}/{plan.n_shards} failed: "
+                        f"{type(error).__name__}: {error}"
+                    ) from error
+        except BaseException as error:
+            for future in futures:
+                future.cancel()
+            # A clean library error from a healthy worker leaves the
+            # pool reusable; everything else (poison wrapped as
+            # ShardError, broken pool, timeout) tears it down so the
+            # next dispatch forks fresh, unpoisoned workers.
+            if isinstance(error, ShardError) or not isinstance(
+                error, ReproError
+            ):
+                context.stats.failures += 1
+                context.reset_executor()
+            raise
+        return _reassemble(plan, per_shard)
+
+
+register_backend(SerialShardBackend())
+register_backend(ProcessShardBackend())

@@ -1,0 +1,118 @@
+"""Core types of the process-sharded execution subsystem (DESIGN.md §10).
+
+A shard backend answers one question: *given a picklable task function
+and a planned partition of its work items, run every item and hand back
+the results in global item order.*  Everything around that answer —
+payload preparation, shared-memory transfer, stats merging, result
+reassembly — is shared by :class:`repro.shard.context.ShardContext`, so
+backends only implement dispatch.
+
+The design mirrors ``repro.solvers`` and ``repro.neighbors``: a
+string-keyed registry (:mod:`repro.shard.registry`), a shared execution
+context threaded through call sites, and a :class:`ShardStats` counter
+object observable end to end (the CLI prints it next to the solver and
+neighbor stats lines).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.shard.plan import ShardPlan
+
+#: a task function: ``(item, common) -> result``; must be module-level
+#: (picklable by reference) so the process backend can ship it.
+TaskFunc = Callable[[Any, Optional[dict]], Any]
+
+
+@dataclass
+class ShardStats:
+    """Counters accumulated across the dispatches of one shard context.
+
+    The headline split is ``dispatches`` (multi-process fan-outs) vs
+    ``serial_dispatches`` (graceful in-process fallbacks: the context was
+    inactive, the item count was below ``min_items``, or the payload was
+    too small to amortize process overhead).  ``bytes_shared`` counts the
+    zero-copy shared-memory traffic, which is the quantity the subsystem
+    saves relative to pickling every payload through the pool's pipes.
+    """
+
+    dispatches: int = 0
+    serial_dispatches: int = 0
+    tasks: int = 0
+    shards_used: int = 0
+    segments: int = 0
+    bytes_shared: int = 0
+    failures: int = 0
+
+    def merge(self, other: "ShardStats") -> "ShardStats":
+        """Fold ``other``'s counters into this object (aliasing-safe)."""
+        # Snapshot first so merging an object into itself doubles cleanly
+        # instead of reading half-updated fields.
+        snapshot = (
+            other.dispatches, other.serial_dispatches, other.tasks,
+            other.shards_used, other.segments, other.bytes_shared,
+            other.failures,
+        )
+        self.dispatches += snapshot[0]
+        self.serial_dispatches += snapshot[1]
+        self.tasks += snapshot[2]
+        self.shards_used += snapshot[3]
+        self.segments += snapshot[4]
+        self.bytes_shared += snapshot[5]
+        self.failures += snapshot[6]
+        return self
+
+    def __iadd__(self, other: "ShardStats") -> "ShardStats":
+        return self.merge(other)
+
+    def summary(self) -> str:
+        """One-line human-readable digest (used by the CLI)."""
+        mb = self.bytes_shared / (1024.0 * 1024.0)
+        failures = f", {self.failures} failed" if self.failures else ""
+        return (
+            f"{self.dispatches} sharded + {self.serial_dispatches} serial "
+            f"dispatches ({self.tasks} tasks over {self.shards_used} "
+            f"shards; {mb:.1f} MB shared in {self.segments} segments"
+            f"{failures})"
+        )
+
+
+class ShardBackend(ABC):
+    """A dispatch strategy, registered by its ``name`` key.
+
+    Backends must be stateless with respect to individual dispatches —
+    per-run state (the persistent process pool, shared-memory segment
+    handles, statistics) lives on the
+    :class:`~repro.shard.context.ShardContext` passed into :meth:`run`.
+    """
+
+    name: str = ""
+
+    @abstractmethod
+    def run(
+        self,
+        func: TaskFunc,
+        items: List[Any],
+        common: Optional[dict],
+        plan: ShardPlan,
+        context,
+    ) -> List[Any]:
+        """Execute ``func`` over every item; results in global item order."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+def run_shard_items(
+    func: TaskFunc, items: List[Any], common: Optional[dict]
+) -> List[Any]:
+    """Run one shard's item list in order (the unit both backends share).
+
+    This is the function the process backend ships to workers and the
+    serial backend calls in-process, so the two paths execute *identical*
+    code on identical payloads — the root of the bit-identity guarantee.
+    """
+    return [func(item, common) for item in items]

@@ -1,0 +1,122 @@
+"""ShardPlan — deterministic partitioning of work items over shards.
+
+A plan answers one question: *which shard runs which items?*  It is a pure
+function of ``(n_items, n_shards, costs)`` — never of wall-clock, process
+ids, or scheduling — which is the foundation of the subsystem's
+determinism contract (DESIGN.md §10): results are always reassembled in
+global item order, so the *numerical output of a sharded dispatch is
+identical for every worker count*, including the in-process serial
+fallback, as long as each item's task function is itself deterministic.
+
+Two partitioning modes:
+
+* **contiguous** (no costs) — shard ``s`` receives a contiguous balanced
+  slice of the item range; concatenating the shards in order yields
+  ``0..n_items-1`` exactly;
+* **cost-balanced** (``costs`` given) — deterministic longest-processing-
+  time greedy: items are placed heaviest-first onto the least-loaded
+  shard (ties broken by lowest shard id), which keeps one expensive view
+  (a huge attribute KNN build) from serializing the whole dispatch.
+
+Invariants (property-tested in ``tests/test_shard_plan.py``): every item
+is assigned to exactly one shard; no shard id is out of range; each
+shard's item list is strictly increasing; the plan is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An immutable assignment of ``n_items`` work items to shards.
+
+    Attributes
+    ----------
+    n_items:
+        Number of work items being partitioned.
+    n_shards:
+        Number of shards actually used (``<= workers``, ``<= n_items``).
+    shard_of:
+        Per-item shard id, ``len == n_items``.
+    """
+
+    n_items: int
+    n_shards: int
+    shard_of: Tuple[int, ...]
+
+    @classmethod
+    def build(
+        cls,
+        n_items: int,
+        workers: int,
+        costs: Optional[Sequence[float]] = None,
+    ) -> "ShardPlan":
+        """Partition ``n_items`` items across at most ``workers`` shards."""
+        n_items = int(n_items)
+        workers = int(workers)
+        if n_items < 0:
+            raise ValidationError(f"n_items must be >= 0, got {n_items}")
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        if n_items == 0:
+            return cls(n_items=0, n_shards=0, shard_of=())
+        n_shards = min(workers, n_items)
+        if costs is None:
+            shard_of = cls._contiguous(n_items, n_shards)
+        else:
+            if len(costs) != n_items:
+                raise ValidationError(
+                    f"expected {n_items} costs, got {len(costs)}"
+                )
+            shard_of = cls._balanced(n_items, n_shards, costs)
+        return cls(n_items=n_items, n_shards=n_shards, shard_of=shard_of)
+
+    @staticmethod
+    def _contiguous(n_items: int, n_shards: int) -> Tuple[int, ...]:
+        base, rem = divmod(n_items, n_shards)
+        shard_of: List[int] = []
+        for shard in range(n_shards):
+            shard_of.extend([shard] * (base + (1 if shard < rem else 0)))
+        return tuple(shard_of)
+
+    @staticmethod
+    def _balanced(
+        n_items: int, n_shards: int, costs: Sequence[float]
+    ) -> Tuple[int, ...]:
+        loads = [0.0] * n_shards
+        counts = [0] * n_shards
+        shard_of = [0] * n_items
+        # Heaviest first; index tiebreak keeps the order deterministic.
+        # The item-count tiebreak spreads zero-cost items round-robin
+        # instead of piling them all onto shard 0.
+        order = sorted(range(n_items), key=lambda i: (-float(costs[i]), i))
+        for item in order:
+            shard = min(range(n_shards), key=lambda s: (loads[s], counts[s], s))
+            shard_of[item] = shard
+            loads[shard] += float(costs[item])
+            counts[shard] += 1
+        return tuple(shard_of)
+
+    def assignments(self) -> List[List[int]]:
+        """Per-shard item indices, each list strictly increasing."""
+        groups: List[List[int]] = [[] for _ in range(self.n_shards)]
+        for item, shard in enumerate(self.shard_of):
+            groups[shard].append(item)
+        return groups
+
+    def __post_init__(self) -> None:
+        if len(self.shard_of) != self.n_items:
+            raise ValidationError(
+                f"shard_of has {len(self.shard_of)} entries, "
+                f"expected {self.n_items}"
+            )
+        for item, shard in enumerate(self.shard_of):
+            if not 0 <= shard < max(self.n_shards, 1):
+                raise ValidationError(
+                    f"item {item} assigned to out-of-range shard {shard}"
+                )

@@ -1,0 +1,63 @@
+"""String-keyed shard-backend registry (mirrors ``repro.solvers``).
+
+Call sites name a dispatch strategy — ``"process"`` (the persistent
+``ProcessPoolExecutor`` + shared-memory transport) or ``"serial"``
+(in-process execution of the identical shard plan, the debugging /
+fallback backend) — and the :class:`~repro.shard.context.ShardContext`
+routes every dispatch through this registry.  Adding a strategy — an MPI
+bridge, a remote-executor client, an accelerator-host dispatcher — is one
+:func:`register_backend` call; no call site changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.shard.base import ShardBackend
+from repro.utils.errors import ValidationError
+
+_REGISTRY: Dict[str, ShardBackend] = {}
+
+
+def register_backend(
+    backend: ShardBackend, overwrite: bool = False
+) -> ShardBackend:
+    """Register ``backend`` under its ``name`` key.
+
+    Raises :class:`ValidationError` for empty names or duplicate
+    registrations unless ``overwrite`` is set (useful for swapping in an
+    instrumented implementation).
+    """
+    name = getattr(backend, "name", "")
+    if not name or not isinstance(name, str):
+        raise ValidationError(
+            f"shard backend must define a non-empty string name, got {name!r}"
+        )
+    if name in _REGISTRY and not overwrite:
+        raise ValidationError(
+            f"shard backend {name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (no-op if absent); used by tests and plugins."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> ShardBackend:
+    """Look up a backend by key; unknown keys list what is available."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown shard backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Sorted registry keys."""
+    return tuple(sorted(_REGISTRY))

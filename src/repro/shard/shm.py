@@ -1,0 +1,160 @@
+"""Zero-copy array transfer over ``multiprocessing.shared_memory``.
+
+Feature matrices, CSR buffers, and stacked-Laplacian data blocks are the
+bulk of a sharded dispatch's payload.  Pickling them through the process
+pool's pipes would copy every byte twice (serialize + deserialize); this
+module instead places each array in a named POSIX shared-memory segment
+once and ships only a tiny :class:`ArraySpec` descriptor.  Workers attach
+by name and wrap the mapping in an ndarray view — no copy on either side
+of the fence.
+
+Lifecycle contract (enforced by :class:`repro.shard.context.ShardContext`):
+
+* the **parent** creates segments before a dispatch and unlinks them
+  after every future has resolved (ephemeral) or at context close
+  (persistent, e.g. a stacked-Laplacian pattern reused by many
+  dispatches);
+* **workers** attach per task, drop their views, and close before
+  returning — a closed mapping holds no memory once the parent unlinks.
+
+``ArraySpec`` also carries an **inline** mode (the array itself, no
+segment) used by the serial fallback path, where sharing with oneself
+would be pure overhead; :func:`attached` returns the identical bytes
+either way, so task functions are oblivious to the transport.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+# Whether this process is a *forked* child.  Forked workers inherit the
+# parent's resource-tracker daemon, so their attach-side registrations
+# land in the parent's cache (a set — re-registering is a no-op) and the
+# parent's unlink is the single cleanup point.  Spawned workers get their
+# own tracker, whose attach-side registration must be undone (see
+# :func:`_untrack`).  ``os.register_at_fork`` flips the flag in every
+# forked child; spawned children re-import this module and keep False.
+_FORKED_CHILD = False
+
+
+def _mark_forked() -> None:
+    global _FORKED_CHILD
+    _FORKED_CHILD = True
+
+
+if hasattr(os, "register_at_fork"):  # POSIX
+    os.register_at_fork(after_in_child=_mark_forked)
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """A picklable descriptor of one ndarray payload.
+
+    Either ``shm_name`` names a shared-memory segment holding the bytes
+    (zero-copy mode) or ``array`` carries the ndarray inline (serial
+    fallback / tiny payloads).  ``creator_pid`` identifies the process
+    that created (and owns the unlink of) the segment.
+    """
+
+    shape: Tuple[int, ...]
+    dtype: str
+    shm_name: Optional[str] = None
+    array: Optional[np.ndarray] = None
+    creator_pid: Optional[int] = None
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+def inline_spec(array: np.ndarray) -> ArraySpec:
+    """An :class:`ArraySpec` carrying ``array`` itself (no segment)."""
+    array = np.ascontiguousarray(array)
+    return ArraySpec(
+        shape=tuple(array.shape), dtype=str(array.dtype), array=array
+    )
+
+
+def create_segment(
+    array: np.ndarray,
+) -> Tuple[shared_memory.SharedMemory, ArraySpec]:
+    """Copy ``array`` into a fresh shared-memory segment.
+
+    Returns the open segment handle (the caller owns close + unlink) and
+    the descriptor to ship to workers.  Zero-size arrays get a 1-byte
+    segment (POSIX shm cannot be empty) whose descriptor still records
+    the true shape.
+    """
+    array = np.ascontiguousarray(array)
+    segment = shared_memory.SharedMemory(
+        create=True, size=max(1, array.nbytes)
+    )
+    if array.nbytes:
+        target = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=segment.buf
+        )
+        target[...] = array
+    return segment, ArraySpec(
+        shape=tuple(array.shape), dtype=str(array.dtype),
+        shm_name=segment.name, creator_pid=os.getpid(),
+    )
+
+
+def _untrack(segment: shared_memory.SharedMemory, spec: ArraySpec) -> None:
+    """Undo the attach-side resource_tracker registration where needed.
+
+    CPython < 3.13 registers a segment with the resource tracker on
+    *attach* as well as on create (bpo-39959).  Whether that phantom
+    registration must be undone depends on which tracker received it:
+
+    * creator process (serial fallback attaching its own segment) and
+      **forked** workers share the creator's tracker daemon — the attach
+      registration is a set no-op there and the creator's unlink is the
+      one cleanup point, so unregistering here would *steal* the
+      creator's registration and make its unlink race a missing entry;
+    * **spawned** workers own a fresh tracker that would otherwise
+      unlink (and warn about) a segment it does not own at shutdown —
+      only they unregister.
+    """
+    if spec.creator_pid == os.getpid() or _FORKED_CHILD:
+        return
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker registry internals
+        pass
+
+
+@contextmanager
+def attached(spec: ArraySpec):
+    """Yield the ndarray behind ``spec`` (shared view or inline array).
+
+    Shared-memory mode attaches by name, yields a zero-copy view, and
+    closes the mapping on exit — callers must copy anything they want to
+    outlive the ``with`` block (solver outputs are fresh arrays anyway).
+    """
+    if spec.shm_name is None:
+        if spec.array is None:
+            raise ValidationError("ArraySpec carries neither segment nor array")
+        yield spec.array
+        return
+    segment = shared_memory.SharedMemory(name=spec.shm_name)
+    _untrack(segment, spec)
+    try:
+        view = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf
+        )
+        yield view
+        del view
+    finally:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - a caller kept a view
+            pass

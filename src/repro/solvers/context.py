@@ -79,6 +79,37 @@ class SolverStats:
             self.by_backend.get(result.backend, 0) + 1
         )
 
+    def merge(self, other: "SolverStats") -> "SolverStats":
+        """Fold ``other``'s counters into this object.
+
+        Sharded dispatches accumulate per-worker :class:`SolverStats`
+        and merge them back in item order, so the aggregate equals what
+        a single-process run would have recorded.  Aliasing-safe: the
+        counters (including the ``by_backend`` map) are snapshotted
+        before any mutation, so ``stats.merge(stats)`` doubles cleanly
+        instead of double-counting mid-iteration.
+        """
+        snapshot = (
+            other.solves, other.saved, other.warm_solves,
+            other.cold_solves, other.batched_solves, other.matvecs,
+            other.coarse_solves, other.tolerance_updates,
+            dict(other.by_backend),
+        )
+        self.solves += snapshot[0]
+        self.saved += snapshot[1]
+        self.warm_solves += snapshot[2]
+        self.cold_solves += snapshot[3]
+        self.batched_solves += snapshot[4]
+        self.matvecs += snapshot[5]
+        self.coarse_solves += snapshot[6]
+        self.tolerance_updates += snapshot[7]
+        for name, count in snapshot[8].items():
+            self.by_backend[name] = self.by_backend.get(name, 0) + count
+        return self
+
+    def __iadd__(self, other: "SolverStats") -> "SolverStats":
+        return self.merge(other)
+
     def summary(self) -> str:
         """One-line human-readable digest (used by the CLI)."""
         backends = ", ".join(

@@ -23,3 +23,10 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class NotFittedError(ReproError, RuntimeError):
     """A model method requiring a prior ``fit`` was called before fitting."""
+
+
+class ShardError(ReproError, RuntimeError):
+    """A sharded dispatch failed (worker exception, crashed process, or
+    timeout).  Raised by :mod:`repro.shard` with the shard index and the
+    original failure message, so a poisoned shard surfaces as one clean
+    error instead of a hung pool."""
