@@ -40,6 +40,7 @@ from repro.evaluation.classification import evaluate_embedding
 from repro.evaluation.clustering_metrics import clustering_report
 from repro.neighbors import NeighborStats
 from repro.neighbors import available_backends as available_knn_backends
+from repro.shard import available_backends as available_shard_backends
 from repro.shard import shard_scope
 from repro.solvers import available_backends
 from repro.utils.errors import ReproError
@@ -135,6 +136,31 @@ def _add_solver_args(subparser) -> None:
         "shared-memory transfer; results are bit-identical for every "
         "value >= 1 (unset/0 disables sharding)",
     )
+    subparser.add_argument(
+        "--shard-backend",
+        default="process",
+        choices=available_shard_backends(),
+        help="shard dispatch strategy from the repro.shard registry "
+        "('process' = local pool, 'remote' = TCP worker hosts spawned "
+        "via python -m repro.shard.worker, 'serial' = in-process "
+        "reference); requires --shard-workers",
+    )
+    subparser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=2,
+        help="retry attempts beyond the first per ladder rung for "
+        "failed/timed-out shards (failed shards are re-planned onto "
+        "healthy workers; exhausted rungs degrade "
+        "remote -> process -> serial)",
+    )
+    subparser.add_argument(
+        "--shard-deadline",
+        type=float,
+        default=None,
+        help="per-attempt shard deadline in seconds (each retry gets a "
+        "fresh budget; default: wait indefinitely)",
+    )
 
 
 def _solver_config(args, **extra) -> SGLAConfig:
@@ -148,6 +174,9 @@ def _solver_config(args, **extra) -> SGLAConfig:
         solver_workers=args.solver_workers,
         tol_ladder=args.tol_ladder,
         shard_workers=args.shard_workers,
+        shard_backend=args.shard_backend,
+        shard_retries=args.shard_retries,
+        shard_deadline=args.shard_deadline,
         **extra,
     )
 

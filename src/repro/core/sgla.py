@@ -106,7 +106,16 @@ class SGLAConfig:
     shard_backend:
         Dispatch strategy from the :mod:`repro.shard` registry
         (``"process"`` default; ``"serial"`` forces in-process execution
-        at any worker count, for debugging and plugins).
+        at any worker count, for debugging and plugins; ``"remote"``
+        dispatches to TCP worker hosts — spawned locally by default,
+        see :mod:`repro.shard.remote`).
+    shard_retries:
+        Retry attempts beyond the first per ladder rung for failed or
+        timed-out shards (DESIGN.md §11; default 2 = three attempts).
+    shard_deadline:
+        Per-attempt shard deadline in seconds (``None`` waits
+        indefinitely).  Each retry gets a fresh budget; an exhausted
+        rung degrades down the ``remote -> process -> serial`` ladder.
     """
 
     gamma: float = 0.5
@@ -130,6 +139,8 @@ class SGLAConfig:
     ladder_coarse_tol: float = LADDER_COARSE_TOL
     shard_workers: Optional[int] = None
     shard_backend: str = "process"
+    shard_retries: int = 2
+    shard_deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.eps <= 0:
@@ -148,6 +159,15 @@ class SGLAConfig:
         if self.shard_workers is not None and self.shard_workers < 0:
             raise ValidationError(
                 f"shard_workers must be >= 0, got {self.shard_workers}"
+            )
+        if self.shard_retries < 0:
+            raise ValidationError(
+                f"shard_retries must be >= 0, got {self.shard_retries}"
+            )
+        if self.shard_deadline is not None and self.shard_deadline <= 0:
+            raise ValidationError(
+                f"shard_deadline must be positive, "
+                f"got {self.shard_deadline}"
             )
 
     @property
@@ -175,7 +195,10 @@ class SGLAConfig:
         if not self.shard_workers:
             return None
         return ShardContext(
-            workers=self.shard_workers, backend=self.shard_backend
+            workers=self.shard_workers,
+            backend=self.shard_backend,
+            retries=self.shard_retries,
+            timeout=self.shard_deadline,
         )
 
 

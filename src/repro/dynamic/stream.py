@@ -39,6 +39,7 @@ from repro.neighbors import (
 from repro.shard import ShardContext, shard_attribute_laplacians
 from repro.utils.errors import ValidationError
 from repro.utils.sparse import ensure_csr
+from repro.utils.validation import check_finite
 
 
 def _replace_csr_row(
@@ -207,6 +208,10 @@ class DynamicMVAG:
             raise ValidationError(f"no graph view {update.view}")
         if not (0 <= update.u < self._n and 0 <= update.v < self._n):
             raise ValidationError("edge endpoints out of range")
+        if not np.isfinite(update.weight):
+            raise ValidationError(
+                f"edge weight must be finite, got {update.weight}"
+            )
         graph = self._graphs[update.view]
         graph[update.u, update.v] = update.weight
         graph[update.v, update.u] = update.weight
@@ -225,6 +230,10 @@ class DynamicMVAG:
         if not 0 <= node < self._n:
             raise ValidationError("node index out of range")
         values = np.asarray(values, dtype=np.float64).ravel()
+        # Reject NaN/inf at the mutation boundary: a poisoned row would
+        # otherwise surface later, inside a shard worker, where the
+        # resulting ValidationError costs a dispatch instead of a call.
+        check_finite(values, name="attribute update values")
         attributes = self._attributes[view]
         if values.shape[0] != attributes.shape[1]:
             raise ValidationError(

@@ -11,8 +11,19 @@ string-keyed registry pattern as :mod:`repro.solvers` and
 * :class:`ShardContext` — per-run state: the lazy persistent
   ``ProcessPoolExecutor``, shared-memory segment lifecycle, serial
   fallback policy, and :class:`ShardStats` counters;
-* backends ``"process"`` / ``"serial"`` (:mod:`repro.shard.backends`),
+* backends ``"process"`` / ``"serial"`` (:mod:`repro.shard.backends`)
+  and the distributed ``"remote"`` backend (:mod:`repro.shard.remote`,
+  TCP worker hosts started via ``python -m repro.shard.worker``),
   registered in :mod:`repro.shard.registry`;
+* the resilience layer (:mod:`repro.shard.resilience`, DESIGN.md §11):
+  :class:`RetryPolicy` + :class:`FailureDirector` giving every dispatch
+  retries with seeded-jitter backoff, re-dispatch of failed shards onto
+  healthy workers, quarantine with cooldown re-admission, and the
+  sticky degradation ladder ``remote -> process -> serial``;
+* deterministic fault injection (:mod:`repro.shard.faults`):
+  :class:`FaultPlan` — a seeded, replayable schedule of crash / hang /
+  slow / corrupt / drop faults driven through any backend, the engine
+  of the chaos suite (``tests/test_chaos.py``);
 * :func:`shard_view_laplacians` / :func:`shard_objective_batch` — the
   entry points ``build_view_laplacians`` and
   ``SpectralObjective.evaluate_batch`` dispatch through when a context
@@ -40,6 +51,12 @@ from repro.shard.context import (
     default_shard_workers,
     shard_scope,
 )
+from repro.shard.faults import (
+    FAULT_KINDS,
+    FaultInjected,
+    FaultPlan,
+    plan_from_dict,
+)
 from repro.shard.plan import ShardPlan
 from repro.shard.registry import (
     available_backends,
@@ -47,20 +64,38 @@ from repro.shard.registry import (
     register_backend,
     unregister_backend,
 )
+from repro.shard.remote import RemoteShardBackend, WorkerFleet
+from repro.shard.resilience import (
+    LADDER,
+    FailureDirector,
+    RetryPolicy,
+    ShardFailure,
+)
 from repro.shard.shm import ArraySpec, attached, create_segment, inline_spec
-from repro.utils.errors import ShardError
+from repro.utils.errors import ShardDegradation, ShardError
 
 __all__ = [
     "ArraySpec",
+    "FAULT_KINDS",
+    "FailureDirector",
+    "FaultInjected",
+    "FaultPlan",
+    "LADDER",
     "MIN_SHARD_BYTES",
     "MIN_SHARD_ITEMS",
     "ProcessShardBackend",
+    "RemoteShardBackend",
+    "RetryPolicy",
     "SerialShardBackend",
     "ShardBackend",
     "ShardContext",
+    "ShardDegradation",
     "ShardError",
+    "ShardFailure",
     "ShardPlan",
     "ShardStats",
+    "WorkerFleet",
+    "plan_from_dict",
     "attached",
     "available_backends",
     "create_segment",

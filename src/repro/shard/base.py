@@ -46,23 +46,27 @@ class ShardStats:
     segments: int = 0
     bytes_shared: int = 0
     failures: int = 0
+    #: resilience counters (DESIGN.md §11): retry attempts after a
+    #: failure, items re-planned onto other workers, ladder degradations,
+    #: and workers placed in quarantine.
+    retries: int = 0
+    redispatches: int = 0
+    degradations: int = 0
+    workers_quarantined: int = 0
+
+    _FIELDS = (
+        "dispatches", "serial_dispatches", "tasks", "shards_used",
+        "segments", "bytes_shared", "failures", "retries",
+        "redispatches", "degradations", "workers_quarantined",
+    )
 
     def merge(self, other: "ShardStats") -> "ShardStats":
         """Fold ``other``'s counters into this object (aliasing-safe)."""
         # Snapshot first so merging an object into itself doubles cleanly
         # instead of reading half-updated fields.
-        snapshot = (
-            other.dispatches, other.serial_dispatches, other.tasks,
-            other.shards_used, other.segments, other.bytes_shared,
-            other.failures,
-        )
-        self.dispatches += snapshot[0]
-        self.serial_dispatches += snapshot[1]
-        self.tasks += snapshot[2]
-        self.shards_used += snapshot[3]
-        self.segments += snapshot[4]
-        self.bytes_shared += snapshot[5]
-        self.failures += snapshot[6]
+        snapshot = tuple(getattr(other, name) for name in self._FIELDS)
+        for name, value in zip(self._FIELDS, snapshot):
+            setattr(self, name, getattr(self, name) + value)
         return self
 
     def __iadd__(self, other: "ShardStats") -> "ShardStats":
@@ -71,12 +75,23 @@ class ShardStats:
     def summary(self) -> str:
         """One-line human-readable digest (used by the CLI)."""
         mb = self.bytes_shared / (1024.0 * 1024.0)
-        failures = f", {self.failures} failed" if self.failures else ""
+        extras = []
+        if self.failures:
+            extras.append(f"{self.failures} failed")
+        if self.retries:
+            extras.append(
+                f"{self.retries} retries/{self.redispatches} redispatched"
+            )
+        if self.degradations:
+            extras.append(f"{self.degradations} degraded")
+        if self.workers_quarantined:
+            extras.append(f"{self.workers_quarantined} quarantined")
+        tail = (", " + ", ".join(extras)) if extras else ""
         return (
             f"{self.dispatches} sharded + {self.serial_dispatches} serial "
             f"dispatches ({self.tasks} tasks over {self.shards_used} "
             f"shards; {mb:.1f} MB shared in {self.segments} segments"
-            f"{failures})"
+            f"{tail})"
         )
 
 
@@ -101,6 +116,52 @@ class ShardBackend(ABC):
         context,
     ) -> List[Any]:
         """Execute ``func`` over every item; results in global item order."""
+
+    def capacity(self, context) -> int:
+        """How many shards one dispatch can usefully run in parallel.
+
+        The resilience layer sizes each attempt's :class:`ShardPlan`
+        from this (the remote backend reports its healthy worker count,
+        which shrinks under quarantine).
+        """
+        return max(1, int(context.workers))
+
+    def try_run(
+        self,
+        func: TaskFunc,
+        indexed_items: List[Any],
+        common: Optional[dict],
+        plan: ShardPlan,
+        context,
+        deadline: Optional[float] = None,
+        attempt: int = 1,
+    ):
+        """Partial-failure dispatch: the resilience layer's entry point.
+
+        ``indexed_items`` is a list of ``(global_index, item)`` pairs.
+        Returns ``(results, failures)`` where ``results`` maps global
+        index -> result for every item that completed and ``failures``
+        is a list of :class:`~repro.shard.resilience.ShardFailure` for
+        retryable (infrastructure) losses.  Non-retryable task errors
+        are *raised* — with their original type for clean library
+        errors, as :class:`~repro.utils.errors.ShardError` for poison —
+        exactly matching :meth:`run`'s failure semantics.
+
+        The default implementation is all-or-nothing around :meth:`run`
+        (injected faults become one retryable failure covering every
+        item); ``process`` and ``remote`` override it with per-shard /
+        per-worker granularity.
+        """
+        from repro.shard.faults import FaultInjected
+        from repro.shard.resilience import ShardFailure
+
+        indices = [index for index, _ in indexed_items]
+        items = [item for _, item in indexed_items]
+        try:
+            out = self.run(func, items, common, plan, context)
+        except FaultInjected as error:
+            return {}, [ShardFailure(indices=indices, error=error)]
+        return dict(zip(indices, out)), []
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"

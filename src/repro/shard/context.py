@@ -39,8 +39,10 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.shard.base import ShardStats, TaskFunc
+from repro.shard.faults import FaultPlan
 from repro.shard.plan import ShardPlan
 from repro.shard.registry import get_backend
+from repro.shard.resilience import FailureDirector, RetryPolicy
 from repro.shard.shm import ArraySpec, create_segment, inline_spec
 from repro.utils.errors import ValidationError
 
@@ -75,9 +77,27 @@ class ShardContext:
         :data:`MIN_SHARD_BYTES`); tests pin them to 0 to force process
         dispatch on tiny fixtures.
     timeout:
-        Optional per-shard result timeout in seconds (``None`` waits
-        indefinitely); a timeout surfaces as a clean
+        Optional *per-attempt* shard deadline in seconds, measured on
+        the monotonic clock from attempt submit (``None`` waits
+        indefinitely); an exhausted deadline surfaces through the
+        resilience machine as retries and, ultimately, a clean
         :class:`~repro.utils.errors.ShardError`.
+    retries:
+        Retry attempts *beyond the first* per ladder rung (default 2,
+        i.e. three attempts); ``retry_policy`` overrides the whole
+        schedule when supplied.
+    fault_plan:
+        Optional :class:`~repro.shard.faults.FaultPlan` arming
+        deterministic fault injection on every dispatch (chaos tests).
+    remote_workers:
+        ``remote`` backend fleet: an int spawns that many local worker
+        subprocesses (default: ``workers``); a list of ``host:port``
+        strings connects to externally managed workers instead.
+    remote_max_tasks:
+        Self-recycle threshold passed to spawned workers (0 = never).
+    quarantine_after / quarantine_cooldown:
+        Consecutive failures before a worker is quarantined, and the
+        cooldown (seconds) before it is re-admitted.
     """
 
     def __init__(
@@ -87,9 +107,19 @@ class ShardContext:
         min_items: int = MIN_SHARD_ITEMS,
         min_bytes: int = MIN_SHARD_BYTES,
         timeout: Optional[float] = None,
+        retries: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        remote_workers: Optional[Any] = None,
+        remote_max_tasks: int = 0,
+        remote_respawn: bool = True,
+        quarantine_after: int = 2,
+        quarantine_cooldown: float = 5.0,
     ) -> None:
         if workers is not None and workers < 0:
             raise ValidationError(f"workers must be >= 0, got {workers}")
+        if retries < 0:
+            raise ValidationError(f"retries must be >= 0, got {retries}")
         self.workers = (
             default_shard_workers() if workers is None else int(workers)
         )
@@ -98,8 +128,22 @@ class ShardContext:
         self.min_items = int(min_items)
         self.min_bytes = int(min_bytes)
         self.timeout = timeout
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=retries + 1, deadline=timeout
+        )
+        self.fault_plan = fault_plan
+        self.remote_workers = remote_workers
+        self.remote_max_tasks = int(remote_max_tasks)
+        self.remote_respawn = bool(remote_respawn)
+        self.director = FailureDirector(
+            self.retry_policy,
+            fault_plan=fault_plan,
+            quarantine_after=quarantine_after,
+            quarantine_cooldown=quarantine_cooldown,
+        )
         self.stats = ShardStats()
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._fleet: Optional[Any] = None  # lazy WorkerFleet
         self._ephemeral: List[Any] = []  # open SharedMemory handles
         self._persistent: Dict[int, Tuple[Any, ArraySpec, Any]] = {}
         self._closed = False
@@ -177,6 +221,46 @@ class ShardContext:
                     pass
 
     # ------------------------------------------------------------------ #
+    # Remote fleet
+    # ------------------------------------------------------------------ #
+
+    def remote_fleet(self):
+        """The lazily created :class:`~repro.shard.remote.WorkerFleet`."""
+        if self._closed:
+            raise ValidationError("shard context is closed")
+        if self._fleet is None:
+            from repro.shard.remote import WorkerFleet
+
+            spec = self.remote_workers
+            if isinstance(spec, (list, tuple)):
+                self._fleet = WorkerFleet(
+                    addresses=list(spec),
+                    max_tasks=self.remote_max_tasks,
+                    respawn=self.remote_respawn,
+                )
+            else:
+                count = self.workers if spec is None else int(spec)
+                self._fleet = WorkerFleet(
+                    spawn=max(1, count),
+                    max_tasks=self.remote_max_tasks,
+                    respawn=self.remote_respawn,
+                )
+        return self._fleet
+
+    def wire_payloads(self) -> bool:
+        """Whether payload descriptors must travel inline (on the wire).
+
+        True while the effective backend (after sticky degradation) is
+        one that cannot reach this host's shared memory.  Once the
+        ladder degrades to ``process``/``serial``, shared memory is
+        used again.
+        """
+        backend_name = self.director.effective_backend(self.backend)
+        return bool(
+            getattr(get_backend(backend_name), "wire_payloads", False)
+        )
+
+    # ------------------------------------------------------------------ #
     # Shared-memory payloads
     # ------------------------------------------------------------------ #
 
@@ -185,9 +269,11 @@ class ShardContext:
 
         ``inline=True`` skips the segment and ships the array in the
         descriptor itself — the serial path's transport (same bytes, no
-        copy, no kernel object).
+        copy, no kernel object).  Inline is also forced when the
+        effective backend moves payloads over the wire (``remote``):
+        a shared-memory name means nothing on another host.
         """
-        if inline or not self.active:
+        if inline or not self.active or self.wire_payloads():
             return inline_spec(array)
         segment, spec = create_segment(array)
         self._ephemeral.append(segment)
@@ -206,7 +292,7 @@ class ShardContext:
         its entry is alive; do **not** use this for arrays mutated in
         place (the segment holds a copy from share time).
         """
-        if not self.active:
+        if not self.active or self.wire_payloads():
             return inline_spec(array)
         key = id(array)
         entry = self._persistent.get(key)
@@ -244,8 +330,11 @@ class ShardContext:
         ``dispatch`` pins the serial/process decision (callers that
         prepared payloads with :meth:`share` already settled it through
         :meth:`should_dispatch`); ``None`` re-derives it from the item
-        count alone.  Ephemeral segments are released on the way out,
-        success or failure.
+        count alone.  Dispatched work goes through the
+        :class:`~repro.shard.resilience.FailureDirector` (retries,
+        re-dispatch, quarantine, ladder degradation); the serial
+        fallback path stays direct.  Ephemeral segments are released on
+        the way out, success or failure.
         """
         items = list(items)
         if not items:
@@ -262,11 +351,9 @@ class ShardContext:
                 return get_backend("serial").run(
                     func, items, common, plan, self
                 )
-            plan = ShardPlan.build(len(items), self.workers, costs=costs)
             self.stats.dispatches += 1
-            self.stats.shards_used += plan.n_shards
-            return get_backend(self.backend).run(
-                func, items, common, plan, self
+            return self.director.execute(
+                self, func, items, common, costs
             )
         finally:
             self._release_ephemeral()
@@ -283,6 +370,9 @@ class ShardContext:
         executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True, cancel_futures=True)
+        fleet, self._fleet = self._fleet, None
+        if fleet is not None:
+            fleet.close()
         self._release_ephemeral()
         persistent, self._persistent = self._persistent, {}
         for segment, _, _ in persistent.values():

@@ -29,4 +29,58 @@ class ShardError(ReproError, RuntimeError):
     """A sharded dispatch failed (worker exception, crashed process, or
     timeout).  Raised by :mod:`repro.shard` with the shard index and the
     original failure message, so a poisoned shard surfaces as one clean
-    error instead of a hung pool."""
+    error instead of a hung pool.
+
+    Carries structured context alongside the message so callers (and the
+    resilience layer's logs) can reason about the failure without parsing
+    strings: the dispatching ``backend`` name, the ``shard_index`` inside
+    its :class:`~repro.shard.plan.ShardPlan`, the ``worker`` identifier
+    (remote address or ``None`` for anonymous pool processes), how many
+    ``attempts`` had been made when the error was raised, and the
+    ``elapsed`` seconds since the first attempt began.  All fields are
+    optional — bare ``ShardError("message")`` raises keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        backend=None,
+        shard_index=None,
+        worker=None,
+        attempts=None,
+        elapsed=None,
+    ) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.shard_index = shard_index
+        self.worker = worker
+        self.attempts = attempts
+        self.elapsed = elapsed
+
+    def context(self) -> dict:
+        """The structured fields as a dict (``None`` entries dropped)."""
+        fields = {
+            "backend": self.backend,
+            "shard_index": self.shard_index,
+            "worker": self.worker,
+            "attempts": self.attempts,
+            "elapsed": self.elapsed,
+        }
+        return {key: value for key, value in fields.items() if value is not None}
+
+    def __str__(self) -> str:
+        message = super().__str__()
+        context = self.context()
+        if not context:
+            return message
+        detail = ", ".join(f"{key}={value}" for key, value in context.items())
+        return f"{message} [{detail}]"
+
+
+class ShardDegradation(UserWarning):
+    """A shard dispatch exhausted a backend and fell down the resilience
+    ladder (``remote -> process -> serial``).  Results are still correct
+    — every rung runs identical task code on identical payloads — but the
+    run lost its distributed speedup; the warning is loud so operators
+    notice dead fleets instead of silently serving from one process."""

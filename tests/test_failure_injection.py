@@ -105,6 +105,87 @@ class TestBadInputsFailLoudly:
             generate_mvag(n_nodes=3, n_clusters=2)
 
 
+class TestShardedEntryPoints:
+    """Degenerate inputs through the *sharded* dispatch paths.
+
+    The contract (DESIGN.md §11): a caller bug surfacing inside a shard
+    worker — NaN attributes, degenerate views — must raise the same
+    :class:`ValidationError` in the parent as the in-process path, with
+    no retries burned on it and the pool still healthy afterwards.
+    """
+
+    def _sharded(self):
+        from repro.shard import ShardContext
+
+        return ShardContext(workers=2, min_items=0, min_bytes=0)
+
+    def test_nan_attributes_raise_in_parent_not_poison_pool(self):
+        from repro.core.laplacian import build_view_laplacians
+
+        mvag = generate_mvag(
+            n_nodes=40, n_clusters=2, graph_view_strengths=[0.8],
+            attribute_view_dims=[6], attribute_view_signals=[0.7], seed=0,
+        )
+        # MVAG validates at construction, so inject the NaN afterwards —
+        # exactly the class of corruption a worker would meet first.
+        mvag.attribute_views[0][3, 2] = np.nan
+        with self._sharded() as shard:
+            with pytest.raises(ValidationError, match="NaN"):
+                build_view_laplacians(mvag, knn_k=5, shard=shard)
+            assert shard.stats.retries == 0  # caller bugs never retry
+            # The pool survived: a clean build on the same context works.
+            mvag.attribute_views[0][3, 2] = 0.0
+            laplacians = build_view_laplacians(mvag, knn_k=5, shard=shard)
+            assert len(laplacians) == 2
+
+    def test_empty_attribute_view_is_legal_through_shard(self):
+        from repro.core.laplacian import build_view_laplacians
+
+        mvag = MVAG(
+            graph_views=[ring(20)],
+            attribute_views=[np.zeros((20, 4))],  # all-zero rows: empty
+        )
+        with self._sharded() as shard:
+            sharded = build_view_laplacians(mvag, knn_k=3, shard=shard)
+        plain = build_view_laplacians(mvag, knn_k=3)
+        for ours, theirs in zip(sharded, plain):
+            assert (ours != theirs).nnz == 0
+
+    def test_dynamic_nan_update_rejected_before_dispatch(self):
+        from repro.dynamic import DynamicMVAG
+
+        mvag = generate_mvag(
+            n_nodes=40, n_clusters=2, graph_view_strengths=[0.8],
+            attribute_view_dims=[6], attribute_view_signals=[0.7], seed=0,
+        )
+        with self._sharded() as shard:
+            dynamic = DynamicMVAG(mvag, knn_k=5, shard=shard)
+            baseline = [l.copy() for l in dynamic.view_laplacians()]
+            with pytest.raises(ValidationError, match="finite|NaN"):
+                dynamic.update_attributes(
+                    0, 3, [1.0, np.nan, 0.0, 0.0, 0.0, 0.0]
+                )
+            # The rejected update mutated nothing and poisoned nothing:
+            # the stream continues bit-identically.
+            for ours, theirs in zip(
+                dynamic.view_laplacians(), baseline
+            ):
+                assert (ours != theirs).nnz == 0
+            dynamic.update_attributes(0, 3, [1.0, 0.5, 0, 0, 0, 0])
+            assert dynamic.updates_since_snapshot == 1
+
+    def test_dynamic_nonfinite_edge_weight_rejected(self):
+        from repro.dynamic import DynamicMVAG
+        from repro.dynamic.stream import EdgeUpdate
+
+        mvag = MVAG(graph_views=[ring(12)])
+        dynamic = DynamicMVAG(mvag, knn_k=3)
+        with pytest.raises(ValidationError, match="finite"):
+            dynamic.apply_edge_update(
+                EdgeUpdate(view=0, u=1, v=2, weight=float("inf"))
+            )
+
+
 class TestSkewedClusters:
     def test_unbalanced_partition_recovered(self):
         """Moderately skewed clusters: the pipeline should still work.

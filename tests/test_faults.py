@@ -1,0 +1,126 @@
+"""Unit tests for the deterministic fault-injection layer (DESIGN.md §11)."""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.shard import FAULT_KINDS, FaultInjected, FaultPlan, plan_from_dict
+from repro.shard.faults import FaultedTask
+from repro.utils.errors import ValidationError
+
+
+def _echo(item, common):
+    return item
+
+
+class TestFaultPlanValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValidationError, match="crash_rate"):
+            FaultPlan(crash_rate=1.5)
+        with pytest.raises(ValidationError, match="drop_rate"):
+            FaultPlan(drop_rate=-0.1)
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ValidationError, match="sum"):
+            FaultPlan(crash_rate=0.6, hang_rate=0.6)
+
+    def test_durations_nonnegative(self):
+        with pytest.raises(ValidationError, match="durations"):
+            FaultPlan(hang_seconds=-1.0)
+
+    def test_plan_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValidationError, match="unknown"):
+            plan_from_dict({"crash_rate": 0.1, "explode_rate": 0.5})
+        assert plan_from_dict(None) is None
+        plan = plan_from_dict({"seed": 7, "crash_rate": 0.25})
+        assert plan.seed == 7 and plan.crash_rate == 0.25
+
+
+class TestFaultPlanDecide:
+    def test_pure_function_of_seed_key_attempt(self):
+        plan = FaultPlan(seed=3, crash_rate=0.3, drop_rate=0.3)
+        decisions = [plan.decide(key, 0) for key in range(200)]
+        again = [plan.decide(key, 0) for key in range(200)]
+        assert decisions == again
+        # The schedule survives pickling (it crosses process borders).
+        clone = pickle.loads(pickle.dumps(plan))
+        assert decisions == [clone.decide(key, 0) for key in range(200)]
+
+    def test_rates_are_hit_approximately(self):
+        plan = FaultPlan(seed=0, crash_rate=0.2, slow_rate=0.2)
+        decisions = [plan.decide(key, 0) for key in range(4000)]
+        crash = decisions.count("crash") / len(decisions)
+        slow = decisions.count("slow") / len(decisions)
+        clean = decisions.count(None) / len(decisions)
+        assert crash == pytest.approx(0.2, abs=0.03)
+        assert slow == pytest.approx(0.2, abs=0.03)
+        assert clean == pytest.approx(0.6, abs=0.04)
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, crash_rate=0.5)
+        b = FaultPlan(seed=2, crash_rate=0.5)
+        assert [a.decide(k, 0) for k in range(100)] != [
+            b.decide(k, 0) for k in range(100)
+        ]
+
+    def test_faults_expire_after_max_faulted_attempts(self):
+        plan = FaultPlan(seed=0, crash_rate=1.0)
+        assert plan.decide(42, 0) == "crash"
+        assert plan.decide(42, 1) is None  # retry always has a clean path
+        stressor = FaultPlan(seed=0, crash_rate=1.0, max_faulted_attempts=3)
+        assert stressor.decide(42, 2) == "crash"
+        assert stressor.decide(42, 3) is None
+
+    def test_all_kinds_reachable(self):
+        plan = FaultPlan(
+            seed=0, crash_rate=0.2, hang_rate=0.2, slow_rate=0.2,
+            corrupt_rate=0.2, drop_rate=0.2,
+        )
+        seen = {plan.decide(key, 0) for key in range(500)}
+        assert set(FAULT_KINDS) <= seen
+
+
+class TestFaultedTask:
+    def test_crash_and_drop_raise_before_compute(self):
+        calls = []
+
+        def _recording(item, common):
+            calls.append(item)
+            return item
+
+        plan = FaultPlan(seed=0, crash_rate=1.0)
+        task = FaultedTask(_recording, plan)
+        with pytest.raises(FaultInjected) as excinfo:
+            task((7, 0, "payload"), None)
+        assert excinfo.value.kind == "crash"
+        assert calls == []  # the worker died before doing the work
+
+    def test_corrupt_raises_after_compute(self):
+        calls = []
+
+        def _recording(item, common):
+            calls.append(item)
+            return item
+
+        plan = FaultPlan(seed=0, corrupt_rate=1.0)
+        with pytest.raises(FaultInjected) as excinfo:
+            FaultedTask(_recording, plan)((7, 0, "payload"), None)
+        assert excinfo.value.kind == "corrupt"
+        assert calls == ["payload"]  # the result was damaged, not the task
+
+    def test_slow_answers_correctly(self):
+        plan = FaultPlan(seed=0, slow_rate=1.0, slow_seconds=0.01)
+        started = time.monotonic()
+        assert FaultedTask(_echo, plan)((7, 0, "ok"), None) == "ok"
+        assert time.monotonic() - started >= 0.01
+
+    def test_clean_attempt_passes_through(self):
+        plan = FaultPlan(seed=0, crash_rate=1.0)
+        assert FaultedTask(_echo, plan)((7, 1, "ok"), None) == "ok"
+
+    def test_fault_injected_pickles(self):
+        error = pickle.loads(pickle.dumps(FaultInjected("hang", 99)))
+        assert error.kind == "hang" and error.task_key == 99
