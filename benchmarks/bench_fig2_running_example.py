@@ -4,11 +4,17 @@ Regenerates the table of Fig. 2b: ``g_k(L)``, ``lambda_2(L)`` and their
 difference for ``w1`` from 1.0 down to 0.0 on the 8-node two-view MVAG.
 The paper's shape: both single-view extremes are poor, the optimum sits at
 interior weights (paper: around ``w1 = 0.6``).
+
+Runs as a pytest benchmark or a plain script; results land in
+``results/fig2_running_example.{txt,json}`` (``--json`` echoes the JSON
+to stdout).
 """
+
+import sys
 
 import numpy as np
 
-from harness import emit, format_table
+from harness import emit, emit_json, format_table
 from repro.core.laplacian import build_view_laplacians
 from repro.core.objective import SpectralObjective
 from repro.datasets.running_example import running_example_mvag
@@ -28,8 +34,9 @@ def _sweep():
     return rows
 
 
-def test_fig2_running_example(benchmark, capsys):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def run(capsys=None, echo_json: bool = False, rows=None) -> bool:
+    if rows is None:
+        rows = _sweep()
     table = format_table(
         ["w1", "w2", "g_k(L)", "lambda_2(L)", "g_k - lambda_2"],
         rows,
@@ -45,7 +52,37 @@ def test_fig2_running_example(benchmark, capsys):
         f"interior best {values[best_index]:.3f}"
     )
     emit("fig2_running_example", table + verdict, capsys)
-    # Shape assertions: interior beats both single-view extremes.
-    assert 0 < best_index < len(rows) - 1
-    assert values[best_index] < values[0]
-    assert values[best_index] < values[-1]
+    emit_json(
+        "fig2_running_example",
+        {
+            "sweep": [
+                {
+                    "w1": row[0],
+                    "w2": row[1],
+                    "eigengap": row[2],
+                    "connectivity": row[3],
+                    "objective": row[4],
+                }
+                for row in rows
+            ],
+            "best_w1": rows[best_index][0],
+            "best_value": values[best_index],
+            "extreme_values": [values[0], values[-1]],
+        },
+        echo=echo_json,
+    )
+    # Shape: interior beats both single-view extremes.
+    return (
+        0 < best_index < len(rows) - 1
+        and values[best_index] < values[0]
+        and values[best_index] < values[-1]
+    )
+
+
+def test_fig2_running_example(benchmark, capsys):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    assert run(capsys=capsys, rows=rows)
+
+
+if __name__ == "__main__":
+    sys.exit(0 if run(echo_json="--json" in sys.argv) else 1)

@@ -5,11 +5,17 @@ surrogate ``h_Theta*`` (Fig. 3b), showing a smooth paraboloid-like surface
 and closely co-located minimizers.  We regenerate both surfaces on the
 Yelp profile and report the surrogate's fit error and the distance between
 the two minimizers.
+
+Runs as a pytest benchmark or a plain script; results land in
+``results/fig3_surface.{txt,json}`` (``--json`` echoes the JSON to
+stdout).
 """
+
+import sys
 
 import numpy as np
 
-from harness import bench_mvag, emit, profile_config
+from harness import bench_mvag, emit, emit_json, profile_config
 from repro.core.laplacian import build_view_laplacians
 from repro.core.objective import SpectralObjective, objective_surface
 from repro.core.sampling import interpolation_samples
@@ -33,10 +39,10 @@ def _surfaces():
     return surface, surrogate_values, surrogate, samples
 
 
-def test_fig3_surface(benchmark, capsys):
-    surface, surrogate_values, surrogate, samples = benchmark.pedantic(
-        _surfaces, rounds=1, iterations=1
-    )
+def run(capsys=None, echo_json: bool = False, computed=None) -> bool:
+    if computed is None:
+        computed = _surfaces()
+    surface, surrogate_values, surrogate, samples = computed
     points = surface["points"]
     true_values = surface["values"]
 
@@ -58,12 +64,36 @@ def test_fig3_surface(benchmark, capsys):
         f" minimizer lands close to the true minimizer)"
     )
     emit("fig3_surface", report, capsys)
+    emit_json(
+        "fig3_surface",
+        {
+            "dataset": DATASET,
+            "resolution": RESOLUTION,
+            "grid_points": int(points.shape[0]),
+            "true_range": [float(true_values.min()), float(true_values.max())],
+            "surrogate_rmse": rmse,
+            "true_argmin": true_argmin,
+            "surrogate_argmin": surrogate_argmin,
+            "argmin_distance": argmin_distance,
+        },
+        echo=echo_json,
+    )
 
-    # Shape assertions: the surrogate interpolates its samples and lands
-    # its minimizer near the true one (within a simplex-diagonal fraction).
+    # Shape: the surrogate interpolates its samples and lands its
+    # minimizer near the true one (within a simplex-diagonal fraction).
     objective_at_samples = [
         true_values[int(np.argmin(np.linalg.norm(points - s, axis=1)))]
         for s in samples
     ]
-    assert np.all(np.isfinite(objective_at_samples))
-    assert argmin_distance < 0.6
+    return bool(np.all(np.isfinite(objective_at_samples))) and (
+        argmin_distance < 0.6
+    )
+
+
+def test_fig3_surface(benchmark, capsys):
+    computed = benchmark.pedantic(_surfaces, rounds=1, iterations=1)
+    assert run(capsys=capsys, computed=computed)
+
+
+if __name__ == "__main__":
+    sys.exit(0 if run(echo_json="--json" in sys.argv) else 1)

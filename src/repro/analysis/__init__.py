@@ -6,7 +6,11 @@ headless reproduction, DESIGN.md §5).
 """
 
 from repro.analysis.convergence import convergence_trace
-from repro.analysis.memory import peak_rss_mb
+from repro.analysis.memory import (
+    MemoryBudgetExceeded,
+    MemoryTracker,
+    peak_rss_mb,
+)
 from repro.analysis.separation import class_separation, silhouette_score
 from repro.analysis.tsne import tsne
 from repro.analysis.weights import (
@@ -22,6 +26,8 @@ __all__ = [
     "class_separation",
     "convergence_trace",
     "peak_rss_mb",
+    "MemoryTracker",
+    "MemoryBudgetExceeded",
     "weight_entropy",
     "effective_view_count",
     "weight_report",

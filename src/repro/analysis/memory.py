@@ -1,14 +1,26 @@
-"""Peak-memory sampling for the efficiency benchmarks.
+"""Peak-memory sampling and budget gating for the efficiency benchmarks.
 
 The paper reports peak memory footprints (Section VI-B/C); we sample the
 process's peak resident set size via ``resource.getrusage``, which is
 sufficient to show the *shape* (SGLA+ <= SGLA << quadratic baselines).
+
+:class:`MemoryTracker` wraps a code region with that sampling plus an
+optional hard budget and an optional ``tracemalloc`` allocation trace.
+Because ``ru_maxrss`` is a process-lifetime high-water mark, a tracker
+entered after some earlier memory-hungry phase can only observe growth
+*beyond* that earlier peak — for trustworthy budget gates, run each
+phase in a fresh subprocess so the baseline is the bare interpreter
+(``benchmarks/bench_multilevel.py`` does exactly this).
 """
 
 from __future__ import annotations
 
 import resource
 import sys
+import tracemalloc
+from typing import Optional
+
+from repro.utils.errors import ReproError
 
 
 def peak_rss_mb() -> float:
@@ -20,3 +32,115 @@ def peak_rss_mb() -> float:
     if sys.platform == "darwin":  # pragma: no cover - platform specific
         return peak / (1024.0 * 1024.0)
     return peak / 1024.0
+
+
+class MemoryBudgetExceeded(ReproError):
+    """A tracked region's peak RSS crossed its configured budget."""
+
+
+class MemoryTracker:
+    """Context manager tracking peak RSS over a region, with a budget.
+
+    Parameters
+    ----------
+    budget_mb:
+        Optional hard ceiling on *absolute* peak RSS in megabytes.
+        :meth:`check` (and the final check on ``__exit__``) raises
+        :class:`MemoryBudgetExceeded` once the process's high-water mark
+        crosses it.  ``None`` disables gating (pure measurement).
+    label:
+        Name of the tracked region, used in error messages and reports.
+    trace_allocations:
+        Additionally run ``tracemalloc`` over the region and record the
+        peak *traced Python allocation* size in :attr:`alloc_peak_mb`.
+        Costs a few percent of runtime; off by default.
+
+    Attributes
+    ----------
+    baseline_mb:
+        Process high-water mark at ``__enter__``.
+    peak_mb:
+        Highest high-water mark observed by any :meth:`check` so far.
+    growth_mb:
+        ``peak_mb - baseline_mb`` — the growth attributable to the
+        region (zero when the region stayed under an earlier phase's
+        peak; see the module docstring).
+    alloc_peak_mb:
+        Peak traced allocation in MB (``None`` unless
+        ``trace_allocations``).
+    """
+
+    def __init__(
+        self,
+        budget_mb: Optional[float] = None,
+        label: str = "region",
+        trace_allocations: bool = False,
+    ) -> None:
+        if budget_mb is not None and budget_mb <= 0:
+            raise ReproError(f"budget_mb must be positive, got {budget_mb}")
+        self.budget_mb = budget_mb
+        self.label = label
+        self.trace_allocations = trace_allocations
+        self.baseline_mb: Optional[float] = None
+        self.peak_mb: Optional[float] = None
+        self.alloc_peak_mb: Optional[float] = None
+        self._owns_trace = False
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def growth_mb(self) -> float:
+        """Peak growth beyond the entry baseline (0 before entry)."""
+        if self.baseline_mb is None or self.peak_mb is None:
+            return 0.0
+        return max(0.0, self.peak_mb - self.baseline_mb)
+
+    def check(self, label: Optional[str] = None) -> float:
+        """Refresh the peak sample; raise if over budget.
+
+        Call at phase boundaries inside the region to attribute a budget
+        violation to the phase that caused it.  Returns the current peak
+        in MB.
+        """
+        peak = peak_rss_mb()
+        self.peak_mb = peak if self.peak_mb is None else max(self.peak_mb, peak)
+        if self.budget_mb is not None and peak > self.budget_mb:
+            where = f"{self.label}:{label}" if label else self.label
+            raise MemoryBudgetExceeded(
+                f"{where}: peak RSS {peak:.1f} MB exceeds the "
+                f"{self.budget_mb:.1f} MB budget"
+            )
+        return peak
+
+    def report(self) -> dict:
+        """The tracked numbers as a plain dict (for JSON artifacts)."""
+        return {
+            "label": self.label,
+            "baseline_mb": self.baseline_mb,
+            "peak_mb": self.peak_mb,
+            "growth_mb": self.growth_mb,
+            "budget_mb": self.budget_mb,
+            "alloc_peak_mb": self.alloc_peak_mb,
+        }
+
+    # ------------------------------------------------------------------ #
+
+    def __enter__(self) -> "MemoryTracker":
+        self.baseline_mb = peak_rss_mb()
+        self.peak_mb = self.baseline_mb
+        if self.trace_allocations and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_trace = True
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self.trace_allocations:
+            _, alloc_peak = tracemalloc.get_traced_memory()
+            self.alloc_peak_mb = alloc_peak / (1024.0 * 1024.0)
+            if self._owns_trace:
+                tracemalloc.stop()
+                self._owns_trace = False
+        if exc_type is None:
+            # The final sample gates the whole region; an in-flight
+            # exception takes precedence over a budget complaint.
+            self.check()

@@ -27,6 +27,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.coarsen import available_backends as available_coarsen_backends
 from repro.core.integration import INTEGRATION_METHODS
 from repro.core.pipeline import cluster_mvag, embed_mvag
 from repro.core.sgla import SGLAConfig
@@ -161,6 +162,24 @@ def _add_solver_args(subparser) -> None:
         help="per-attempt shard deadline in seconds (each retry gets a "
         "fresh budget; default: wait indefinitely)",
     )
+    subparser.add_argument(
+        "--coarsen",
+        type=int,
+        default=0,
+        metavar="LEVELS",
+        help="depth of the multilevel ladder (repro.coarsen): Galerkin-"
+        "coarsen the view Laplacians up to LEVELS rungs, optimize the "
+        "view weights at the coarsest level, then polish at full size "
+        "with prolonged warm starts (0 = flat path, the default)",
+    )
+    subparser.add_argument(
+        "--coarsen-backend",
+        default="heavy-edge",
+        choices=available_coarsen_backends(),
+        help="coarsening strategy from the repro.coarsen registry "
+        "('heavy-edge' mutual matching; 'landmark' Nystrom-style "
+        "sampling); requires --coarsen >= 1",
+    )
 
 
 def _solver_config(args, **extra) -> SGLAConfig:
@@ -177,6 +196,8 @@ def _solver_config(args, **extra) -> SGLAConfig:
         shard_backend=args.shard_backend,
         shard_retries=args.shard_retries,
         shard_deadline=args.shard_deadline,
+        coarsen_levels=args.coarsen,
+        coarsen_backend=args.coarsen_backend,
         **extra,
     )
 
@@ -229,6 +250,8 @@ def _cmd_cluster(args) -> int:
         print(f"view weights: {weights.tolist()}")
     print(f"integration time: {output.integration.elapsed_seconds:.3f}s")
     print(f"solver: {solver.stats.summary()}")
+    if output.integration.coarsen_stats is not None:
+        print(f"coarsen: {output.integration.coarsen_stats.summary()}")
     if neighbor_stats.builds:
         print(f"neighbors: {neighbor_stats.summary()}")
     if shard is not None:
@@ -263,6 +286,8 @@ def _cmd_embed(args) -> int:
     print(f"backend: {output.backend}")
     print(f"embedding shape: {output.embedding.shape}")
     print(f"solver: {solver.stats.summary()}")
+    if output.integration.coarsen_stats is not None:
+        print(f"coarsen: {output.integration.coarsen_stats.summary()}")
     if neighbor_stats.builds:
         print(f"neighbors: {neighbor_stats.summary()}")
     if shard is not None:

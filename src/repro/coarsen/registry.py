@@ -1,0 +1,60 @@
+"""String-keyed coarsening-backend registry.
+
+The same single-source-of-truth pattern as ``repro.solvers.registry`` and
+``repro.neighbors.registry``: call sites name a backend
+(``"heavy-edge"``, ``"landmark"``) and adding a new coarsening — an
+algebraic-multigrid aggregator, a spectral sparsifier — is one
+:func:`register_backend` call, no call-site changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.coarsen.base import CoarsenBackend
+from repro.utils.errors import ValidationError
+
+_REGISTRY: Dict[str, CoarsenBackend] = {}
+
+
+def register_backend(
+    backend: CoarsenBackend, overwrite: bool = False
+) -> CoarsenBackend:
+    """Register ``backend`` under its ``name`` key.
+
+    Raises :class:`ValidationError` for empty names or duplicate
+    registrations unless ``overwrite`` is set.
+    """
+    name = getattr(backend, "name", "")
+    if not name or not isinstance(name, str):
+        raise ValidationError(
+            f"coarsen backend must define a non-empty string name, got {name!r}"
+        )
+    if name in _REGISTRY and not overwrite:
+        raise ValidationError(
+            f"coarsen backend {name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (no-op if absent); used by tests and plugins."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> CoarsenBackend:
+    """Look up a backend by key; unknown keys list what is available."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown coarsen backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Sorted registry keys."""
+    return tuple(sorted(_REGISTRY))

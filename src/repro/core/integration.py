@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -33,6 +33,9 @@ from repro.optim.driver import minimize_on_simplex
 from repro.shard import ShardContext, shard_scope
 from repro.solvers import SolverContext, SolverStats
 from repro.utils.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (repro.coarsen)
+    from repro.coarsen.base import CoarsenStats
 
 INTEGRATION_METHODS = (
     "sgla",
@@ -56,6 +59,7 @@ class IntegrationResult:
     elapsed_seconds: float = 0.0
     solver_stats: Optional[SolverStats] = None
     neighbor_stats: Optional[NeighborStats] = None
+    coarsen_stats: Optional["CoarsenStats"] = None
 
 
 def integrate(
@@ -132,6 +136,7 @@ def _integrate(
             elapsed_seconds=result.elapsed_seconds,
             solver_stats=result.solver_stats,
             neighbor_stats=result.neighbor_stats,
+            coarsen_stats=result.coarsen_stats,
         )
     if method == "sgla+":
         result = SGLAPlus(config).fit(
@@ -147,6 +152,7 @@ def _integrate(
             elapsed_seconds=result.elapsed_seconds,
             solver_stats=result.solver_stats,
             neighbor_stats=result.neighbor_stats,
+            coarsen_stats=result.coarsen_stats,
         )
     if method in ("eigengap", "connectivity"):
         return _single_objective(

@@ -15,6 +15,9 @@ convention of treating them as their own trivial component.
 
 from __future__ import annotations
 
+import os
+import tempfile
+from contextlib import contextmanager
 from typing import List, Sequence
 
 import numpy as np
@@ -55,6 +58,38 @@ def normalized_laplacian(adjacency) -> sp.csr_matrix:
     adjacency = ensure_csr(adjacency)
     n = adjacency.shape[0]
     return (sparse_identity(n) - normalized_adjacency(adjacency)).tocsr()
+
+
+_STREAM_CHUNK_ROWS = 65536
+
+
+@contextmanager
+def _streamed_normalized(features: np.memmap, chunk_rows: int = _STREAM_CHUNK_ROWS):
+    """Disk-backed row-normalized copy of a memmapped dense view.
+
+    Replicates :func:`repro.neighbors.normalize_rows` bit for bit
+    (float64, zero rows kept at zero) but never holds more than one
+    ``chunk_rows x d`` block in anonymous memory: the normalized matrix
+    lands in a temporary ``.npy`` memmap, which the KNN backends then
+    read through the page cache.  The temp file is removed on exit.
+    """
+    handle, temp_path = tempfile.mkstemp(suffix=".npy")
+    os.close(handle)
+    try:
+        normalized = np.lib.format.open_memmap(
+            temp_path, mode="w+", dtype=np.float64, shape=features.shape
+        )
+        for start in range(0, features.shape[0], chunk_rows):
+            stop = min(start + chunk_rows, features.shape[0])
+            block = np.asarray(features[start:stop], dtype=np.float64)
+            norms = np.linalg.norm(block, axis=1)
+            norms[norms == 0] = 1.0
+            normalized[start:stop] = block / norms[:, None]
+        normalized.flush()
+        yield normalized
+        del normalized
+    finally:
+        os.unlink(temp_path)
 
 
 def build_view_laplacians(
@@ -101,9 +136,25 @@ def build_view_laplacians(
             neighbor_stats=neighbor_stats,
         )
     laplacians = [normalized_laplacian(a) for a in mvag.graph_views]
-    laplacians.extend(
-        normalized_laplacian(
-            knn_graph(
+    for features in mvag.attribute_views:
+        if isinstance(features, np.memmap):
+            # Out-of-core view (MemmapMVAG): stream the normalization
+            # through a bounded chunk buffer instead of materializing a
+            # dense n x d copy, then let the backend read the normalized
+            # memmap directly.
+            with _streamed_normalized(features) as normalized:
+                graph = knn_graph(
+                    normalized,
+                    k=knn_k,
+                    block_size=knn_block_size,
+                    workers=workers,
+                    backend=knn_backend,
+                    backend_params=knn_params,
+                    stats=neighbor_stats,
+                    assume_normalized=True,
+                )
+        else:
+            graph = knn_graph(
                 features,
                 k=knn_k,
                 block_size=knn_block_size,
@@ -112,9 +163,7 @@ def build_view_laplacians(
                 backend_params=knn_params,
                 stats=neighbor_stats,
             )
-        )
-        for features in mvag.attribute_views
-    )
+        laplacians.append(normalized_laplacian(graph))
     return laplacians
 
 

@@ -198,3 +198,15 @@ class MVAG:
             f"p={self.n_graph_views}, q={self.n_attribute_views}, "
             f"k={self.n_classes})"
         )
+
+
+def is_mvag_like(data: object) -> bool:
+    """True for :class:`MVAG` and duck-typed stand-ins.
+
+    The pipeline accepts anything exposing ``graph_views`` and
+    ``attribute_views`` (plus ``n_classes`` when ``k`` is inferred) —
+    notably :class:`repro.datasets.io.MemmapMVAG`, whose views are
+    disk-backed.  Raw Laplacian sequences fail this check and take the
+    pre-built-views path instead.
+    """
+    return hasattr(data, "graph_views") and hasattr(data, "attribute_views")

@@ -11,13 +11,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.core.laplacian import build_view_laplacians
-from repro.core.mvag import MVAG
+from repro.core.mvag import MVAG, is_mvag_like
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (repro.coarsen)
+    from repro.coarsen.base import CoarsenStats
 from repro.core.objective import LADDER_COARSE_TOL, SpectralObjective
 from repro.neighbors import NeighborStats
 from repro.optim.driver import minimize_on_simplex
@@ -116,6 +119,21 @@ class SGLAConfig:
         Per-attempt shard deadline in seconds (``None`` waits
         indefinitely).  Each retry gets a fresh budget; an exhausted
         rung degrades down the ``remote -> process -> serial`` ladder.
+    coarsen_levels:
+        Depth of the multilevel ladder (DESIGN.md §12).  ``0`` (default)
+        is the flat path — bit-identical to configurations that predate
+        coarsening.  ``>= 1`` Galerkin-coarsens the view Laplacians up
+        to that many levels, optimizes ``w`` at the coarsest level with
+        the full SGLA / SGLA+ machinery, then refines at full size from
+        the coarse optimum with prolonged warm-start blocks.
+    coarsen_backend:
+        Coarsening strategy from the :mod:`repro.coarsen` registry
+        (``"heavy-edge"`` mutual matching, default; ``"landmark"``
+        Nyström-style sampling).
+    coarsen_params:
+        Backend and ladder knobs (heavy-edge ``rounds``; landmark
+        ``ratio`` / ``sweeps``; ladder ``min_nodes`` / ``stall_ratio``
+        / ``refine_evals`` / ``refine_rho`` / ``lean``).
     """
 
     gamma: float = 0.5
@@ -141,6 +159,9 @@ class SGLAConfig:
     shard_backend: str = "process"
     shard_retries: int = 2
     shard_deadline: Optional[float] = None
+    coarsen_levels: int = 0
+    coarsen_backend: str = "heavy-edge"
+    coarsen_params: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if self.eps <= 0:
@@ -169,6 +190,12 @@ class SGLAConfig:
                 f"shard_deadline must be positive, "
                 f"got {self.shard_deadline}"
             )
+        if self.coarsen_levels < 0:
+            raise ValidationError(
+                f"coarsen_levels must be >= 0, got {self.coarsen_levels}"
+            )
+        if not self.coarsen_backend:
+            raise ValidationError("coarsen_backend must be a non-empty name")
 
     @property
     def resolved_eigen_backend(self) -> str:
@@ -229,6 +256,9 @@ class SGLAResult:
     neighbor_stats:
         KNN-build counters of the run (``None`` when the input was a
         pre-built Laplacian sequence, which performs no graph builds).
+    coarsen_stats:
+        Multilevel-ladder counters (``None`` on the flat path, i.e.
+        ``coarsen_levels == 0``).
     """
 
     laplacian: sp.csr_matrix
@@ -240,6 +270,7 @@ class SGLAResult:
     elapsed_seconds: float = 0.0
     solver_stats: Optional[SolverStats] = None
     neighbor_stats: Optional[NeighborStats] = None
+    coarsen_stats: Optional["CoarsenStats"] = None
 
 
 def prepare_laplacians(
@@ -258,7 +289,7 @@ def prepare_laplacians(
     label count when available.  With a ``shard`` context the per-view
     builds are partitioned over its process pool (bit-identical output).
     """
-    if isinstance(data, MVAG):
+    if is_mvag_like(data):
         laplacians = build_view_laplacians(
             data,
             knn_k=config.knn_k,
@@ -338,8 +369,16 @@ class SGLA:
         start: float,
     ) -> SGLAResult:
         config = self.config
-        if neighbor_stats is None and isinstance(data, MVAG):
+        if neighbor_stats is None and is_mvag_like(data):
             neighbor_stats = NeighborStats()
+        if config.coarsen_levels > 0:
+            # Lazy import: repro.coarsen imports this module at package
+            # load, so the dependency must stay one-directional here.
+            from repro.coarsen.ladder import multilevel_fit
+
+            return multilevel_fit(
+                data, k, config, solver, neighbor_stats, shard, start
+            )
         laplacians, k = prepare_laplacians(
             data, k, config, neighbor_stats=neighbor_stats, shard=shard
         )

@@ -25,7 +25,7 @@ from repro.core.objective import SpectralObjective
 from repro.core.sampling import adjusted_samples, interpolation_samples
 import numpy as np
 
-from repro.core.mvag import MVAG
+from repro.core.mvag import is_mvag_like
 from repro.core.sgla import InputLike, SGLAConfig, SGLAResult, prepare_laplacians
 from repro.core.surrogate import fit_surrogate
 from repro.neighbors import NeighborStats
@@ -136,8 +136,17 @@ class SGLAPlus:
         start: float,
     ) -> SGLAResult:
         config = self.config
-        if neighbor_stats is None and isinstance(data, MVAG):
+        if neighbor_stats is None and is_mvag_like(data):
             neighbor_stats = NeighborStats()
+        if config.coarsen_levels > 0:
+            # Lazy import: repro.coarsen imports this module at package
+            # load, so the dependency must stay one-directional here.
+            from repro.coarsen.ladder import multilevel_fit
+
+            return multilevel_fit(
+                data, k, config, solver, neighbor_stats, shard, start,
+                plus=True, delta_samples=delta_samples,
+            )
         laplacians, k = prepare_laplacians(
             data, k, config, neighbor_stats=neighbor_stats, shard=shard
         )

@@ -10,9 +10,16 @@ from repro.datasets.generator import (
     AttributeViewSpec,
     GraphViewSpec,
     generate_mvag,
+    generate_mvag_memmap,
     planted_partition_graph,
 )
-from repro.datasets.io import load_mvag, save_mvag
+from repro.datasets.io import (
+    MemmapMVAG,
+    load_mvag,
+    open_mvag_memmap,
+    save_mvag,
+    save_mvag_memmap,
+)
 from repro.datasets.profiles import (
     PROFILES,
     DatasetProfile,
@@ -35,4 +42,8 @@ __all__ = [
     "running_example_mvag",
     "save_mvag",
     "load_mvag",
+    "MemmapMVAG",
+    "generate_mvag_memmap",
+    "open_mvag_memmap",
+    "save_mvag_memmap",
 ]

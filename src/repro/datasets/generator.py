@@ -15,6 +15,7 @@ generate in seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -23,6 +24,7 @@ import scipy.sparse as sp
 from repro.core.mvag import MVAG
 from repro.utils.errors import ValidationError
 from repro.utils.random import check_random_state
+from repro.utils.validation import check_labels
 
 
 @dataclass(frozen=True)
@@ -383,3 +385,144 @@ def generate_mvag(
         labels=labels,
         name=name,
     )
+
+
+def generate_mvag_memmap(
+    path,
+    n_nodes: int,
+    n_clusters: int,
+    graph_view_strengths: Sequence[Union[float, GraphViewSpec]] = (0.8, 0.4),
+    attribute_view_dims: Sequence[Union[int, AttributeViewSpec]] = (32,),
+    attribute_view_signals: Optional[Sequence[float]] = None,
+    avg_degree: float = 10.0,
+    default_attribute_signal: float = 0.5,
+    balance: float = 1.0,
+    seed=None,
+    name: str = "synthetic",
+    chunk_rows: int = 65536,
+):
+    """Generate a labeled synthetic MVAG straight into a memmap directory.
+
+    Same signature and distribution as :func:`generate_mvag` (plus
+    ``path`` and ``chunk_rows``), and — crucially — the *same RNG call
+    sequence*, so for any fixed seed the written dataset is bit-identical
+    to ``save_mvag_memmap(generate_mvag(...), path)``.  The difference is
+    the peak footprint: numerical attribute views (the dense memory hog
+    at million-node scale) are streamed into the on-disk ``.npy`` file
+    ``chunk_rows`` rows at a time instead of being materialized.  numpy's
+    ``Generator`` fills output buffers sequentially in C order, which is
+    what makes the chunked draws concatenate to the one-shot draw.
+
+    Graph views (sparse, ``O(n * avg_degree)`` memory) and binary
+    attribute views (sparse CSR) are built in RAM and written out; only
+    the dense views stream.
+
+    Returns the opened :class:`repro.datasets.io.MemmapMVAG`.
+    """
+    # Local import: repro.datasets.io has no dependency back on this
+    # module, but keeping it out of the top level mirrors how rarely the
+    # memmap path is needed.
+    from repro.datasets.io import (
+        _write_array,
+        _write_csr_components,
+        _META_FILENAME,
+        _MEMMAP_FORMAT_VERSION,
+        open_mvag_memmap,
+    )
+    import json
+
+    if n_nodes < 2 * n_clusters:
+        raise ValidationError(
+            f"need n_nodes >= 2 * n_clusters, got {n_nodes} and {n_clusters}"
+        )
+    if chunk_rows < 1:
+        raise ValidationError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    rng = check_random_state(seed)
+    labels = _balanced_labels(n_nodes, n_clusters, balance, rng)
+
+    graph_specs = _coerce_graph_specs(graph_view_strengths, avg_degree)
+    attribute_specs = _coerce_attribute_specs(
+        attribute_view_dims, attribute_view_signals, default_attribute_signal
+    )
+    if not graph_specs and not attribute_specs:
+        raise ValidationError("need at least one view specification")
+
+    confounder_labels = rng.permutation(labels)
+
+    graph_views = []
+    for spec in graph_specs:
+        view_labels = confounder_labels if spec.confounding else labels
+        if spec.visible_fraction < 1.0:
+            n_visible = max(1, int(round(spec.visible_fraction * n_clusters)))
+            visible_clusters = rng.choice(
+                n_clusters, size=n_visible, replace=False
+            )
+        else:
+            visible_clusters = None
+        graph_views.append(
+            planted_partition_graph(
+                view_labels,
+                spec.strength,
+                spec.avg_degree,
+                rng,
+                visible_clusters=visible_clusters,
+            )
+        )
+
+    # Route graphs and labels through MVAG so the written components carry
+    # the same canonicalization (symmetric CSR, zero diagonal, int64
+    # labels) as the in-RAM constructor.
+    if graph_views:
+        skeleton = MVAG(graph_views=graph_views, labels=labels, name=name)
+        canonical_graphs = skeleton.graph_views
+        canonical_labels = skeleton.labels
+    else:
+        canonical_graphs = []
+        canonical_labels = check_labels(labels, n=n_nodes)
+    del graph_views
+
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    for i, adjacency in enumerate(canonical_graphs):
+        _write_csr_components(path, f"graph_{i}", adjacency)
+
+    attribute_meta = []
+    for j, spec in enumerate(attribute_specs):
+        if spec.kind == "numerical":
+            # Streamed replica of _numerical_attributes: same RNG order
+            # (centers first, then row noise), bounded by one chunk.
+            centers = rng.standard_normal((n_clusters, spec.dim))
+            scale = 2.0 * spec.signal
+            out = np.lib.format.open_memmap(
+                path / f"attr_{j}.npy",
+                mode="w+",
+                dtype=np.float64,
+                shape=(n_nodes, spec.dim),
+            )
+            for start in range(0, n_nodes, chunk_rows):
+                stop = min(start + chunk_rows, n_nodes)
+                noise = rng.standard_normal((stop - start, spec.dim))
+                out[start:stop] = (
+                    scale * centers[canonical_labels[start:stop]] + noise
+                )
+            out.flush()
+            del out
+            attribute_meta.append({"sparse": False, "dim": int(spec.dim)})
+        else:
+            features = _binary_attributes(canonical_labels, spec, rng)
+            _write_csr_components(path, f"attr_{j}", features)
+            attribute_meta.append({"sparse": True, "dim": int(spec.dim)})
+
+    _write_array(path, "labels", canonical_labels)
+    meta = {
+        "format_version": _MEMMAP_FORMAT_VERSION,
+        "name": str(name),
+        "n_nodes": int(n_nodes),
+        "n_graph_views": len(canonical_graphs),
+        "attribute_views": attribute_meta,
+        "has_labels": True,
+    }
+    (path / _META_FILENAME).write_text(
+        json.dumps(meta, indent=2, sort_keys=True) + "\n"
+    )
+    return open_mvag_memmap(path)

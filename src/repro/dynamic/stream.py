@@ -198,6 +198,26 @@ class DynamicMVAG:
         """Mutations applied since the last :meth:`snapshot` call."""
         return self._updates_since_snapshot
 
+    @property
+    def uses_live_forest_rerouting(self) -> bool:
+        """True when attribute KNN maintenance reroutes rows through a
+        live rp-forest (the resolved backend is ``rp-forest``).
+
+        Consumers that assume view Laplacians stay *structurally* fixed
+        between refreshes — notably the multilevel coarsening ladder,
+        whose prolongation hierarchy is built once per fit — use this to
+        refuse the combination (see :class:`repro.dynamic.lazy.LazySGLA`).
+        """
+        return (
+            resolve_backend(
+                self._n,
+                min(self._knn_k, max(self._n - 1, 1)),
+                self._knn_backend,
+                self._knn_params,
+            )
+            == "rp-forest"
+        )
+
     # ------------------------------------------------------------------ #
     # Mutations
     # ------------------------------------------------------------------ #

@@ -385,6 +385,11 @@ def _merge_top_k(rows, cols, vals, n: int, k: int):
     return col_table, val_table
 
 
+#: rows per block of the table dedup/top-k finish (bounds its
+#: argsort/take_along temporaries to a few MB regardless of n).
+_FINISH_BLOCK_ROWS = 65536
+
+
 def _scatter_merge_top_k(rows, cols, vals, slots, n: int, width: int, k: int):
     """Merge leaf candidates without sorting the triplet stream.
 
@@ -402,26 +407,43 @@ def _scatter_merge_top_k(rows, cols, vals, slots, n: int, width: int, k: int):
     val_table = np.full((n, width), -np.inf)
     col_table[rows, slots] = cols
     val_table[rows, slots] = vals
+    return _finish_scatter_tables(col_table, val_table, k)
 
-    order = np.argsort(np.where(col_table < 0, n, col_table), axis=1)
-    col_table = np.take_along_axis(col_table, order, axis=1)
-    val_table = np.take_along_axis(val_table, order, axis=1)
-    duplicate = np.zeros_like(col_table, dtype=bool)
-    duplicate[:, 1:] = (col_table[:, 1:] == col_table[:, :-1]) & (
-        col_table[:, 1:] >= 0
-    )
-    col_table[duplicate] = -1
-    val_table[duplicate] = -np.inf
 
+def _finish_scatter_tables(col_table, val_table, k: int):
+    """Dedupe and select per-row top-``k`` from scatter tables, blocked.
+
+    Every operation is row-independent (per-row column sort, neighbor-
+    duplicate masking, ``argpartition``), so processing ``n`` in row
+    blocks is bit-identical to the whole-array version while bounding
+    the sort/gather temporaries — which at million-node scale otherwise
+    rival the ``(n, n_trees * k)`` tables themselves — to one block.
+    """
+    n, width = col_table.shape
     keep = min(k, width)
-    if keep < width:
-        top = np.argpartition(val_table, -keep, axis=1)[:, -keep:]
-        val_table = np.take_along_axis(val_table, top, axis=1)
-        col_table = np.take_along_axis(col_table, top, axis=1)
+    out_cols = np.full((n, keep), -1, dtype=np.int64)
+    out_vals = np.full((n, keep), -np.inf)
+    for start in range(0, n, _FINISH_BLOCK_ROWS):
+        stop = min(start + _FINISH_BLOCK_ROWS, n)
+        cols = col_table[start:stop]
+        vals = val_table[start:stop]
+        order = np.argsort(np.where(cols < 0, n, cols), axis=1)
+        cols = np.take_along_axis(cols, order, axis=1)
+        vals = np.take_along_axis(vals, order, axis=1)
+        duplicate = np.zeros_like(cols, dtype=bool)
+        duplicate[:, 1:] = (cols[:, 1:] == cols[:, :-1]) & (cols[:, 1:] >= 0)
+        cols[duplicate] = -1
+        vals[duplicate] = -np.inf
+        if keep < width:
+            top = np.argpartition(vals, -keep, axis=1)[:, -keep:]
+            vals = np.take_along_axis(vals, top, axis=1)
+            cols = np.take_along_axis(cols, top, axis=1)
+        out_cols[start:stop] = cols
+        out_vals[start:stop] = vals
     # Unlike _merge_top_k, rows are left unsorted by value: the graph
     # assembly canonicalizes order, and the refinement join re-merges
     # through _merge_top_k anyway.
-    return col_table, val_table
+    return out_cols, out_vals
 
 
 def _table_triplets(col_table, val_table):
@@ -561,6 +583,70 @@ def _leaf_triplets(low, forest: RPForest, k: int):
     )
 
 
+def _leaf_scatter(low, forest: RPForest, k: int, col_table, val_table) -> int:
+    """Spill-free leaf sweep scattering straight into the merge tables.
+
+    Identical candidate scoring to :func:`_leaf_triplets`, but each
+    scored chunk lands in its ``(row, tree_id * k + slot)`` cells
+    immediately instead of accumulating global ``rows/cols/vals/slots``
+    arrays.  Spill-free forests visit each row once per tree, so every
+    write targets a distinct cell and scatter order is irrelevant —
+    the tables end up bit-identical to scatter-after-concatenate while
+    the peak candidate memory drops from the full triplet stream
+    (``~n * n_trees * k`` entries times four arrays, the single largest
+    allocation of a million-node build) to one scoring chunk.
+
+    Returns the number of scored candidate pairs.
+    """
+    sparse_input = sp.issparse(low)
+    by_size = {}
+    for tree_id, leaf in forest.leaf_groups():
+        if leaf.size >= 2:
+            by_size.setdefault(leaf.size, []).append((tree_id, leaf))
+
+    scored = 0
+    for m, leaves in sorted(by_size.items()):
+        keep = min(k, m - 1)
+        if sparse_input:
+            for tree_id, leaf in leaves:
+                block = low[leaf]
+                sims = block.dot(block.T).toarray()
+                scored += m * (m - 1)
+                np.fill_diagonal(sims, -np.inf)
+                top = np.argpartition(sims, -keep, axis=1)[:, -keep:]
+                rows = np.repeat(leaf, keep)
+                slots = np.tile(tree_id * k + np.arange(keep), m)
+                col_table[rows, slots] = leaf[top.ravel()]
+                val_table[rows, slots] = np.take_along_axis(
+                    sims, top, axis=1
+                ).ravel()
+            continue
+        group_chunk = max(1, 16_000_000 // (m * m))
+        for start in range(0, len(leaves), group_chunk):
+            chunk = leaves[start : start + group_chunk]
+            index = np.stack([leaf for _, leaf in chunk])  # (g, m)
+            blocks = low[index]  # (g, m, d)
+            sims = np.matmul(blocks, blocks.transpose(0, 2, 1))
+            scored += len(chunk) * m * (m - 1)
+            diagonal = np.arange(m)
+            sims[:, diagonal, diagonal] = -np.inf
+            flat = sims.reshape(len(chunk) * m, m)
+            top = np.argpartition(flat, -keep, axis=1)[:, -keep:]
+            group_of_row = np.repeat(np.arange(len(chunk)), m)[:, None]
+            rows = np.repeat(index.ravel(), keep)
+            tree_ids = np.asarray([tree_id for tree_id, _ in chunk])
+            slots = (
+                tree_ids[:, None, None] * k
+                + np.arange(keep)[None, None, :]
+                + np.zeros((1, m, 1), dtype=np.int64)
+            ).reshape(-1)
+            col_table[rows, slots] = index[group_of_row, top].ravel()
+            val_table[rows, slots] = np.take_along_axis(
+                flat, top, axis=1
+            ).ravel().astype(np.float64)
+    return scored
+
+
 class RPForestNeighborBackend(NeighborBackend):
     """Approximate cosine KNN via an RP-tree forest + exact re-rank."""
 
@@ -578,19 +664,34 @@ class RPForestNeighborBackend(NeighborBackend):
         low = normalized.astype(np.float32)
         forest = forest_from_params(low, params, seed=request.seed)
 
-        rows, cols, vals, slots, scored = _leaf_triplets(low, forest, k)
-        if rows.size == 0:
-            return NeighborResult(
-                rows=rows, cols=cols, vals=vals, candidate_pairs=0,
-                exact=False, extras={"forest": forest},
-            )
         if forest.spill == 0.0:
-            col_table, val_table = _scatter_merge_top_k(
-                rows, cols, vals, slots, n, forest.n_trees * k, k
+            # Spill-free forests stream each scored chunk straight into
+            # the merge tables (unique (row, slot) cells), never holding
+            # the full candidate triplet stream.
+            width = forest.n_trees * k
+            col_table = np.full((n, width), -1, dtype=np.int64)
+            val_table = np.full((n, width), -np.inf)
+            scored = _leaf_scatter(low, forest, k, col_table, val_table)
+            if scored == 0:
+                empty = np.empty(0, dtype=np.int64)
+                return NeighborResult(
+                    rows=empty, cols=empty, vals=np.empty(0),
+                    candidate_pairs=0, exact=False,
+                    extras={"forest": forest},
+                )
+            col_table, val_table = _finish_scatter_tables(
+                col_table, val_table, k
             )
         else:
             # Spilled forests revisit rows within a tree, so slots are
-            # not unique — fall back to the sort-based merge.
+            # not unique — fall back to the sort-based merge over the
+            # materialized triplet stream.
+            rows, cols, vals, slots, scored = _leaf_triplets(low, forest, k)
+            if rows.size == 0:
+                return NeighborResult(
+                    rows=rows, cols=cols, vals=vals, candidate_pairs=0,
+                    exact=False, extras={"forest": forest},
+                )
             col_table, val_table = _merge_top_k(rows, cols, vals, n, k)
 
         for sweep in range(max(refine_iters, 0)):

@@ -1,13 +1,19 @@
 """Tests for t-SNE, separation scores, convergence traces, memory probe."""
 
+import tracemalloc
+
 import numpy as np
 import pytest
 
 from repro.analysis.convergence import convergence_trace
-from repro.analysis.memory import peak_rss_mb
+from repro.analysis.memory import (
+    MemoryBudgetExceeded,
+    MemoryTracker,
+    peak_rss_mb,
+)
 from repro.analysis.separation import class_separation, silhouette_score
 from repro.analysis.tsne import kl_divergence, tsne
-from repro.utils.errors import ValidationError
+from repro.utils.errors import ReproError, ValidationError
 
 
 def three_blobs(per=25, separation=8.0, seed=0):
@@ -118,3 +124,57 @@ class TestMemoryProbe:
     def test_positive_and_plausible(self):
         rss = peak_rss_mb()
         assert 10.0 < rss < 1_000_000.0
+
+
+class TestMemoryTracker:
+    def test_measures_growth(self):
+        with MemoryTracker(label="alloc") as tracker:
+            ballast = np.ones((4_000_000,), dtype=np.float64)  # ~32 MB
+            tracker.check("after-alloc")
+            del ballast
+        assert tracker.baseline_mb is not None
+        assert tracker.peak_mb >= tracker.baseline_mb
+        assert tracker.growth_mb >= 0.0
+
+    def test_budget_raises_with_label(self):
+        with pytest.raises(MemoryBudgetExceeded, match="tiny:phase"):
+            with MemoryTracker(budget_mb=1.0, label="tiny") as tracker:
+                tracker.check("phase")
+
+    def test_exit_check_gates_region(self):
+        # The final __exit__ sample must also enforce the budget (the
+        # interpreter alone is far above 1 MB).
+        with pytest.raises(MemoryBudgetExceeded):
+            with MemoryTracker(budget_mb=1.0, label="exit-gate"):
+                pass
+
+    def test_exception_takes_precedence_over_budget(self):
+        with pytest.raises(ValueError, match="inner"):
+            with MemoryTracker(budget_mb=1.0, label="broken"):
+                raise ValueError("inner")
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ReproError):
+            MemoryTracker(budget_mb=0.0)
+        with pytest.raises(ReproError):
+            MemoryTracker(budget_mb=-5.0)
+
+    def test_report_dict(self):
+        with MemoryTracker(label="reported") as tracker:
+            tracker.check()
+        report = tracker.report()
+        assert report["label"] == "reported"
+        assert report["peak_mb"] >= report["baseline_mb"]
+        assert report["growth_mb"] == pytest.approx(
+            max(0.0, report["peak_mb"] - report["baseline_mb"])
+        )
+        assert report["budget_mb"] is None
+        assert report["alloc_peak_mb"] is None
+
+    def test_trace_allocations(self):
+        with MemoryTracker(label="traced", trace_allocations=True) as tracker:
+            ballast = np.ones((1_000_000,), dtype=np.float64)  # ~8 MB
+            del ballast
+        assert tracker.alloc_peak_mb is not None
+        assert tracker.alloc_peak_mb > 5.0
+        assert not tracemalloc.is_tracing()

@@ -1,0 +1,326 @@
+"""Tests for the coarsening subsystem (repro.coarsen, DESIGN.md §12).
+
+Covers the registry semantics, the prolongation/Galerkin primitives and
+their spectral guarantees (``P^T P = I``, ``lambda_j(P^T L P) >=
+lambda_j(L)``), both built-in backends' determinism and aggregate
+properties, and the first-order refinement machinery (Hellmann–Feynman
+gradient vs finite differences, descent of the projected BB loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.coarsen import (
+    CoarsenBackend,
+    CoarsenStats,
+    aggregate_similarity,
+    available_backends,
+    build_hierarchy,
+    galerkin_project,
+    get_backend,
+    gradient_refine,
+    heavy_edge_matching,
+    landmark_aggregates,
+    prolong_block,
+    prolongation_from_aggregates,
+    register_backend,
+    spectral_gradient,
+    unregister_backend,
+)
+from repro.core.laplacian import aggregate_laplacians, build_view_laplacians
+from repro.core.objective import SpectralObjective
+from repro.core.sgla import SGLAConfig
+from repro.datasets.generator import generate_mvag
+from repro.optim.simplex import project_to_simplex
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def small_laplacians():
+    mvag = generate_mvag(
+        200, 4, graph_view_strengths=(0.8, 0.3), attribute_view_dims=(12,),
+        seed=11,
+    )
+    return build_view_laplacians(mvag, knn_k=8)
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+
+
+class _DummyBackend(CoarsenBackend):
+    name = "dummy-coarsen"
+
+    def coarsen(self, laplacians, seed=0, params=None):
+        n = laplacians[0].shape[0]
+        return prolongation_from_aggregates(np.arange(n) // 2)
+
+
+def test_registry_lists_builtins():
+    assert "heavy-edge" in available_backends()
+    assert "landmark" in available_backends()
+
+
+def test_registry_register_get_unregister():
+    backend = _DummyBackend()
+    register_backend(backend)
+    try:
+        assert get_backend("dummy-coarsen") is backend
+        assert "dummy-coarsen" in available_backends()
+    finally:
+        unregister_backend("dummy-coarsen")
+    assert "dummy-coarsen" not in available_backends()
+
+
+def test_registry_duplicate_rejected():
+    backend = _DummyBackend()
+    register_backend(backend)
+    try:
+        with pytest.raises(ValidationError):
+            register_backend(_DummyBackend())
+        register_backend(_DummyBackend(), overwrite=True)  # explicit ok
+    finally:
+        unregister_backend("dummy-coarsen")
+
+
+def test_registry_unknown_backend_lists_available():
+    with pytest.raises(ValidationError, match="heavy-edge"):
+        get_backend("no-such-backend")
+
+
+def test_registry_empty_name_rejected():
+    nameless = _DummyBackend()
+    nameless.name = ""
+    with pytest.raises(ValidationError):
+        register_backend(nameless)
+
+
+# --------------------------------------------------------------------- #
+# Prolongation / Galerkin primitives
+# --------------------------------------------------------------------- #
+
+
+def test_prolongation_columns_orthonormal():
+    aggregates = np.array([0, 0, 1, 2, 2, 2, 3])
+    prolongation = prolongation_from_aggregates(aggregates)
+    gram = (prolongation.T @ prolongation).toarray()
+    np.testing.assert_allclose(gram, np.eye(4), atol=1e-12)
+
+
+def test_prolongation_rejects_unassigned_and_skipped():
+    with pytest.raises(ValidationError):
+        prolongation_from_aggregates(np.array([0, -1, 1]))
+    with pytest.raises(ValidationError):
+        prolongation_from_aggregates(np.array([0, 0, 2]))  # skips 1
+    with pytest.raises(ValidationError):
+        prolongation_from_aggregates(np.array([], dtype=np.int64))
+
+
+def test_galerkin_eigenvalues_bound_below_by_fine(small_laplacians):
+    """Rayleigh–Ritz: coarse eigenvalues majorize the fine ones."""
+    similarity = aggregate_similarity(small_laplacians)
+    prolongation = prolongation_from_aggregates(
+        heavy_edge_matching(similarity)
+    )
+    coarse = galerkin_project(small_laplacians, prolongation)
+    for fine_l, coarse_l in zip(small_laplacians, coarse):
+        fine_vals = np.linalg.eigvalsh(fine_l.toarray())
+        coarse_vals = np.linalg.eigvalsh(coarse_l.toarray())
+        assert np.all(
+            coarse_vals >= fine_vals[: coarse_vals.size] - 1e-9
+        )
+        # Symmetry is restored after projection noise.
+        assert (abs(coarse_l - coarse_l.T) > 1e-12).nnz == 0
+
+
+def test_aggregate_similarity_nonnegative_zero_diagonal(small_laplacians):
+    similarity = aggregate_similarity(small_laplacians)
+    assert similarity.diagonal().max() == 0.0
+    assert similarity.nnz == 0 or similarity.data.min() >= 0.0
+
+
+def test_aggregate_similarity_empty_rejected():
+    with pytest.raises(ValidationError):
+        aggregate_similarity([])
+
+
+# --------------------------------------------------------------------- #
+# Backends
+# --------------------------------------------------------------------- #
+
+
+def test_heavy_edge_matching_pairs_obvious_couples():
+    # Two tight pairs plus one isolated node.
+    adjacency = sp.csr_matrix(
+        np.array(
+            [
+                [0, 5, 0, 0, 0],
+                [5, 0, 0, 0, 0],
+                [0, 0, 0, 4, 0],
+                [0, 0, 4, 0, 0],
+                [0, 0, 0, 0, 0],
+            ],
+            dtype=np.float64,
+        )
+    )
+    aggregates = heavy_edge_matching(adjacency)
+    assert aggregates[0] == aggregates[1]
+    assert aggregates[2] == aggregates[3]
+    assert aggregates[4] not in (aggregates[0], aggregates[2])
+    assert np.array_equal(np.unique(aggregates), np.arange(3))
+
+
+def test_heavy_edge_deterministic_and_shrinking(small_laplacians):
+    similarity = aggregate_similarity(small_laplacians)
+    first = heavy_edge_matching(similarity)
+    second = heavy_edge_matching(similarity)
+    np.testing.assert_array_equal(first, second)
+    n_coarse = int(first.max()) + 1
+    # One round halves at best; three rounds must still shrink decently.
+    assert n_coarse < 0.8 * similarity.shape[0]
+    assert n_coarse >= similarity.shape[0] / 2
+
+
+def test_landmark_ratio_controls_size(small_laplacians):
+    similarity = aggregate_similarity(small_laplacians)
+    aggregates = landmark_aggregates(similarity, ratio=0.2, seed=5)
+    n_coarse = int(aggregates.max()) + 1
+    # Landmarks plus possibly a few unreachable singletons.
+    assert n_coarse >= int(np.ceil(0.2 * similarity.shape[0]))
+    assert n_coarse < similarity.shape[0]
+    assert (aggregates >= 0).all()
+    repeat = landmark_aggregates(similarity, ratio=0.2, seed=5)
+    np.testing.assert_array_equal(aggregates, repeat)
+    other_seed = landmark_aggregates(similarity, ratio=0.2, seed=6)
+    assert not np.array_equal(aggregates, other_seed)
+
+
+def test_landmark_rejects_bad_ratio(small_laplacians):
+    similarity = aggregate_similarity(small_laplacians)
+    with pytest.raises(ValidationError):
+        landmark_aggregates(similarity, ratio=0.0)
+    with pytest.raises(ValidationError):
+        landmark_aggregates(similarity, ratio=1.0)
+
+
+@pytest.mark.parametrize("backend_name", ["heavy-edge", "landmark"])
+def test_backend_prolongations_are_valid(small_laplacians, backend_name):
+    backend = get_backend(backend_name)
+    prolongation = backend.coarsen(small_laplacians, seed=0)
+    n, n_coarse = prolongation.shape
+    assert n == small_laplacians[0].shape[0]
+    assert 0 < n_coarse < n
+    gram = (prolongation.T @ prolongation).toarray()
+    np.testing.assert_allclose(gram, np.eye(n_coarse), atol=1e-12)
+
+
+# --------------------------------------------------------------------- #
+# Hierarchy + prolonged blocks
+# --------------------------------------------------------------------- #
+
+
+def test_build_hierarchy_respects_levels_and_floor(small_laplacians):
+    config = SGLAConfig(coarsen_levels=2, coarsen_params={"min_nodes": 10})
+    hierarchy = build_hierarchy(small_laplacians, k=4, config=config)
+    assert hierarchy.n_levels == 2
+    assert len(hierarchy.sizes) == 3
+    assert hierarchy.sizes[0] == small_laplacians[0].shape[0]
+    assert hierarchy.sizes[1] > hierarchy.sizes[2]
+    assert hierarchy.coarse_laplacians[0].shape[0] == hierarchy.sizes[-1]
+
+    floor_config = SGLAConfig(
+        coarsen_levels=5, coarsen_params={"min_nodes": 10_000}
+    )
+    flat = build_hierarchy(small_laplacians, k=4, config=floor_config)
+    assert flat.n_levels == 0
+    assert flat.sizes == [small_laplacians[0].shape[0]]
+
+
+def test_prolong_block_orthonormal_through_chain(small_laplacians):
+    config = SGLAConfig(coarsen_levels=2, coarsen_params={"min_nodes": 10})
+    hierarchy = build_hierarchy(small_laplacians, k=4, config=config)
+    rng = np.random.default_rng(0)
+    block = rng.standard_normal((hierarchy.sizes[-1], 5))
+    lifted = prolong_block(hierarchy, block)
+    assert lifted.shape == (hierarchy.sizes[0], 5)
+    np.testing.assert_allclose(
+        lifted.T @ lifted, np.eye(5), atol=1e-10
+    )
+    assert prolong_block(hierarchy, None) is None
+
+
+# --------------------------------------------------------------------- #
+# First-order refinement machinery
+# --------------------------------------------------------------------- #
+
+
+def test_spectral_gradient_matches_finite_differences(small_laplacians):
+    """Hellmann–Feynman gradient == central differences of h (tangent)."""
+    k = 4
+    gamma = 0.5
+    weights = np.array([0.5, 0.3, 0.2])
+    objective = SpectralObjective(
+        small_laplacians, k=k, gamma=gamma, cache=False
+    )
+    matrix = aggregate_laplacians(small_laplacians, weights)
+    eigenvalues, vectors = np.linalg.eigh(matrix.toarray())
+    gradient = spectral_gradient(
+        small_laplacians, weights, eigenvalues[: k + 1],
+        vectors[:, : k + 1], k, gamma,
+    )
+
+    step = 1e-6
+    for direction in (
+        np.array([1.0, -1.0, 0.0]),
+        np.array([0.0, 1.0, -1.0]),
+        np.array([1.0, 0.0, -1.0]),
+    ):
+        # Tangent directions keep the iterate on the simplex, so the
+        # projected objective and the raw gradient agree.
+        forward = objective.evaluate_exact(weights + step * direction).value
+        backward = objective.evaluate_exact(weights - step * direction).value
+        numeric = (forward - backward) / (2 * step)
+        analytic = float(gradient @ direction)
+        assert abs(numeric - analytic) < 5e-4, (direction, numeric, analytic)
+
+
+def test_gradient_refine_descends_and_converges(small_laplacians):
+    k = 4
+    gamma = 0.5
+    config = SGLAConfig()
+    solver = config.make_solver()
+    start = project_to_simplex(np.array([0.6, 0.2, 0.2]))
+    weights, value, history, n_solves, converged = gradient_refine(
+        small_laplacians, k, gamma, solver, start, xtol=1e-6, max_solves=20
+    )
+    assert n_solves <= 20
+    assert len(history) == n_solves
+    values = [entry[1] for entry in history]
+    # First entry scores the start; the final value never exceeds it.
+    assert value <= values[0] + 1e-12
+    np.testing.assert_allclose(weights.sum(), 1.0, atol=1e-9)
+    assert weights.min() >= -1e-12
+    if converged:
+        # At convergence the projected gradient step stalls: re-running
+        # from the result must not move or improve beyond tolerance.
+        again, again_value, _, _, _ = gradient_refine(
+            small_laplacians, k, gamma, solver, weights,
+            xtol=1e-6, max_solves=6,
+        )
+        assert abs(again_value - value) < 1e-6
+
+
+def test_coarsen_stats_summary_shape():
+    stats = CoarsenStats(
+        backend="heavy-edge", levels=[100, 60, 35], coarse_solves=12,
+        fine_solves=5, coarsen_seconds=0.25,
+    )
+    text = stats.summary()
+    assert "heavy-edge" in text
+    assert "100 -> 60 -> 35" in text
+    assert "12 coarse / 5 fine" in text
+    assert CoarsenStats().summary().count("flat") == 1

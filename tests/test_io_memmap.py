@@ -1,0 +1,269 @@
+"""Tests for MVAG persistence: npz round-trips and the memmap directory
+format backing the out-of-core pipeline.
+
+The load-bearing properties: both formats round-trip bit-exactly
+(including CSR edge cases — empty matrices, single rows, sparse
+attribute views); ``generate_mvag_memmap`` streams to disk yet matches
+the in-RAM ``generate_mvag`` bit for bit; a fit on a :class:`MemmapMVAG`
+equals the fit on the materialized copy; and closed handles fail loudly
+instead of serving dangling maps.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.laplacian import build_view_laplacians
+from repro.core.mvag import MVAG
+from repro.core.sgla import SGLA, SGLAConfig
+from repro.datasets.generator import generate_mvag, generate_mvag_memmap
+from repro.datasets.io import (
+    MemmapMVAG,
+    _pack_csr,
+    _unpack_csr,
+    load_mvag,
+    open_mvag_memmap,
+    save_mvag,
+    save_mvag_memmap,
+)
+from repro.utils.errors import ValidationError
+
+
+def _assert_same_csr(left, right):
+    left = left.tocsr()
+    right = right.tocsr()
+    assert left.shape == right.shape
+    assert (left != right).nnz == 0
+
+
+@pytest.fixture()
+def mixed_mvag():
+    """Two graph views, one dense and one sparse attribute view."""
+    mvag = generate_mvag(
+        60, 3, graph_view_strengths=(0.8, 0.4), attribute_view_dims=(6,),
+        seed=5, name="mixed",
+    )
+    sparse_attr = sp.random(
+        60, 9, density=0.2, format="csr", random_state=2, dtype=np.float64
+    )
+    return MVAG(
+        graph_views=mvag.graph_views,
+        attribute_views=[mvag.attribute_views[0], sparse_attr],
+        labels=mvag.labels,
+        name="mixed",
+    )
+
+
+# --------------------------------------------------------------------- #
+# CSR pack/unpack edge cases
+# --------------------------------------------------------------------- #
+
+
+class TestPackCsr:
+    def _roundtrip(self, matrix):
+        store: dict = {}
+        _pack_csr("m", matrix.tocsr(), store)
+        buffer = io.BytesIO()
+        np.savez(buffer, **store)
+        buffer.seek(0)
+        with np.load(buffer) as archive:
+            return _unpack_csr("m", archive)
+
+    def test_empty_matrix(self):
+        empty = sp.csr_matrix((4, 4))
+        _assert_same_csr(empty, self._roundtrip(empty))
+
+    def test_single_row(self):
+        row = sp.csr_matrix(np.array([[0.0, 2.5, 0.0, -1.0]]))
+        back = self._roundtrip(row)
+        _assert_same_csr(row, back)
+        assert back.shape == (1, 4)
+
+    def test_rectangular_preserves_dtypes(self):
+        matrix = sp.random(
+            7, 3, density=0.5, format="csr", random_state=0,
+            dtype=np.float64,
+        )
+        back = self._roundtrip(matrix)
+        _assert_same_csr(matrix, back)
+        assert back.data.dtype == matrix.data.dtype
+
+
+# --------------------------------------------------------------------- #
+# npz <-> memmap parity
+# --------------------------------------------------------------------- #
+
+
+class TestMemmapRoundtrip:
+    def test_roundtrip_bit_exact(self, tmp_path, mixed_mvag):
+        directory = save_mvag_memmap(mixed_mvag, tmp_path / "data")
+        with open_mvag_memmap(directory) as opened:
+            assert opened.n_nodes == mixed_mvag.n_nodes
+            assert opened.n_graph_views == 2
+            assert opened.n_attribute_views == 2
+            assert opened.n_views == 4
+            assert opened.n_classes == 3
+            assert opened.name == "mixed"
+            for original, reopened in zip(
+                mixed_mvag.graph_views, opened.graph_views
+            ):
+                _assert_same_csr(original, reopened)
+            np.testing.assert_array_equal(
+                np.asarray(opened.attribute_views[0]),
+                mixed_mvag.attribute_views[0],
+            )
+            _assert_same_csr(
+                mixed_mvag.attribute_views[1], opened.attribute_views[1]
+            )
+            np.testing.assert_array_equal(opened.labels, mixed_mvag.labels)
+
+    def test_matches_npz_route(self, tmp_path, mixed_mvag):
+        save_mvag(mixed_mvag, tmp_path / "data.npz")
+        from_npz = load_mvag(tmp_path / "data.npz")
+        directory = save_mvag_memmap(mixed_mvag, tmp_path / "data")
+        with open_mvag_memmap(directory) as opened:
+            from_memmap = opened.materialize()
+        for a, b in zip(from_npz.graph_views, from_memmap.graph_views):
+            _assert_same_csr(a, b)
+        np.testing.assert_array_equal(
+            np.asarray(from_npz.attribute_views[0]),
+            np.asarray(from_memmap.attribute_views[0]),
+        )
+        _assert_same_csr(
+            from_npz.attribute_views[1], from_memmap.attribute_views[1]
+        )
+        np.testing.assert_array_equal(from_npz.labels, from_memmap.labels)
+
+    def test_views_are_disk_backed(self, tmp_path, mixed_mvag):
+        def backed_by_memmap(array):
+            while array is not None:
+                if isinstance(array, np.memmap):
+                    return True
+                array = array.base
+            return False
+
+        directory = save_mvag_memmap(mixed_mvag, tmp_path / "data")
+        opened = open_mvag_memmap(directory)
+        # scipy re-wraps the component arrays as plain ndarray views, but
+        # they must still alias the on-disk maps, not private copies.
+        assert backed_by_memmap(opened.graph_views[0].data)
+        assert backed_by_memmap(opened.attribute_views[0])
+        opened.close()
+
+    def test_unlabeled_roundtrip(self, tmp_path):
+        unlabeled = MVAG(
+            graph_views=[sp.random(
+                10, 10, density=0.3, format="csr", random_state=1
+            )],
+            name="bare",
+        )
+        directory = save_mvag_memmap(unlabeled, tmp_path / "bare")
+        with open_mvag_memmap(directory) as opened:
+            assert opened.labels is None
+            assert opened.n_classes is None
+            assert opened.n_attribute_views == 0
+
+    def test_reopen_after_close(self, tmp_path, mixed_mvag):
+        directory = save_mvag_memmap(mixed_mvag, tmp_path / "data")
+        opened = open_mvag_memmap(directory)
+        first_graph = opened.graph_views[0].copy()
+        opened.close()
+        opened.close()  # idempotent
+        reopened = open_mvag_memmap(directory)
+        _assert_same_csr(first_graph, reopened.graph_views[0])
+        reopened.close()
+
+    def test_closed_access_raises(self, tmp_path, mixed_mvag):
+        directory = save_mvag_memmap(mixed_mvag, tmp_path / "data")
+        opened = open_mvag_memmap(directory)
+        opened.close()
+        with pytest.raises(ValidationError, match="closed"):
+            opened.graph_views
+        with pytest.raises(ValidationError, match="closed"):
+            opened.attribute_views
+        with pytest.raises(ValidationError, match="closed"):
+            opened.materialize()
+
+    def test_missing_meta_rejected(self, tmp_path):
+        (tmp_path / "not_a_dataset").mkdir()
+        with pytest.raises(ValidationError, match="meta.json"):
+            open_mvag_memmap(tmp_path / "not_a_dataset")
+
+    def test_bad_version_rejected(self, tmp_path, mixed_mvag):
+        directory = save_mvag_memmap(mixed_mvag, tmp_path / "data")
+        meta_path = directory / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValidationError, match="version 99"):
+            open_mvag_memmap(directory)
+
+    def test_missing_component_rejected(self, tmp_path, mixed_mvag):
+        directory = save_mvag_memmap(mixed_mvag, tmp_path / "data")
+        (directory / "graph_0_data.npy").unlink()
+        with pytest.raises(ValidationError, match="graph_0_data"):
+            open_mvag_memmap(directory)
+
+
+# --------------------------------------------------------------------- #
+# Streaming generation parity
+# --------------------------------------------------------------------- #
+
+
+class TestGenerateMemmap:
+    def test_bit_matches_in_ram_generator(self, tmp_path):
+        kwargs = dict(
+            n_nodes=300, n_clusters=4, graph_view_strengths=(0.8, 0.3),
+            attribute_view_dims=(12,), seed=17,
+        )
+        in_ram = generate_mvag(**kwargs)
+        # A chunk size that does not divide n exercises the ragged tail.
+        streamed = generate_mvag_memmap(
+            tmp_path / "stream", chunk_rows=37, **kwargs
+        )
+        try:
+            for a, b in zip(in_ram.graph_views, streamed.graph_views):
+                _assert_same_csr(a, b)
+            np.testing.assert_array_equal(
+                np.asarray(streamed.attribute_views[0]),
+                in_ram.attribute_views[0],
+            )
+            np.testing.assert_array_equal(streamed.labels, in_ram.labels)
+        finally:
+            streamed.close()
+
+    def test_fit_on_memmap_matches_materialized(self, tmp_path):
+        streamed = generate_mvag_memmap(
+            tmp_path / "fit", n_nodes=250, n_clusters=3,
+            graph_view_strengths=(0.7,), attribute_view_dims=(8,), seed=9,
+        )
+        try:
+            config = SGLAConfig(seed=1)
+            from_memmap = SGLA(config).fit(streamed)
+            from_ram = SGLA(config).fit(streamed.materialize())
+            np.testing.assert_array_equal(
+                from_memmap.weights, from_ram.weights
+            )
+            assert from_memmap.objective_value == from_ram.objective_value
+            assert (from_memmap.laplacian != from_ram.laplacian).nnz == 0
+        finally:
+            streamed.close()
+
+    def test_streamed_laplacians_match_in_ram(self, tmp_path):
+        streamed = generate_mvag_memmap(
+            tmp_path / "lap", n_nodes=200, n_clusters=3,
+            graph_view_strengths=(0.7,), attribute_view_dims=(10,), seed=4,
+        )
+        try:
+            from_memmap = build_view_laplacians(streamed, knn_k=6)
+            from_ram = build_view_laplacians(streamed.materialize(), knn_k=6)
+            assert len(from_memmap) == len(from_ram)
+            for a, b in zip(from_memmap, from_ram):
+                _assert_same_csr(a, b)
+        finally:
+            streamed.close()

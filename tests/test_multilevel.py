@@ -1,0 +1,207 @@
+"""Tests for the multilevel SGLA ladder (``SGLAConfig.coarsen_levels``).
+
+The contract under test: ``coarsen_levels=0`` stays bit-identical to the
+flat path that predates coarsening; the flat *fallback* (hierarchy builds
+zero rungs) is bit-identical too; multilevel results agree with the flat
+optimum on small problems; runs are deterministic across shard-worker
+counts; and the streaming guard rejects the ladder on live-rerouted
+dynamic graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.sgla import SGLA, SGLAConfig
+from repro.core.sgla_plus import SGLAPlus
+from repro.datasets.generator import generate_mvag
+from repro.dynamic.lazy import LazySGLA
+from repro.dynamic.stream import DynamicMVAG
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def mvag():
+    return generate_mvag(
+        400, 4, graph_view_strengths=(0.8, 0.3), attribute_view_dims=(16,),
+        seed=7,
+    )
+
+
+def _multilevel_config(**overrides):
+    params = {"min_nodes": 60}
+    params.update(overrides.pop("coarsen_params", {}))
+    base = dict(
+        coarsen_levels=2, coarsen_params=params, eps=1e-4, seed=3
+    )
+    base.update(overrides)
+    return SGLAConfig(**base)
+
+
+class TestFlatConformance:
+    def test_zero_levels_has_no_coarsen_stats(self, mvag):
+        result = SGLA(SGLAConfig(seed=3)).fit(mvag)
+        assert result.coarsen_stats is None
+
+    def test_flat_fallback_bitwise_identical(self, mvag):
+        """A hierarchy that builds zero rungs must defer to the flat path
+        exactly — same weights, same Laplacian, bit for bit."""
+        flat = SGLA(SGLAConfig(seed=3)).fit(mvag)
+        # min_nodes above n: build_hierarchy stops before the first rung.
+        fallback = SGLA(
+            SGLAConfig(
+                coarsen_levels=3,
+                coarsen_params={"min_nodes": 10_000},
+                seed=3,
+            )
+        ).fit(mvag)
+        np.testing.assert_array_equal(flat.weights, fallback.weights)
+        assert flat.objective_value == fallback.objective_value
+        assert (flat.laplacian != fallback.laplacian).nnz == 0
+        # ...but the fallback still reports what happened.
+        assert fallback.coarsen_stats is not None
+        assert fallback.coarsen_stats.levels == [mvag.n_nodes]
+        assert "flat" not in fallback.coarsen_stats.summary().split("[")[0]
+
+    def test_flat_fallback_sgla_plus(self, mvag):
+        flat = SGLAPlus(SGLAConfig(seed=3)).fit(mvag)
+        fallback = SGLAPlus(
+            SGLAConfig(
+                coarsen_levels=1,
+                coarsen_params={"min_nodes": 10_000},
+                seed=3,
+            )
+        ).fit(mvag)
+        np.testing.assert_array_equal(flat.weights, fallback.weights)
+        assert flat.objective_value == fallback.objective_value
+
+
+class TestMultilevelFit:
+    def test_agrees_with_flat_optimum(self, mvag):
+        flat = SGLA(SGLAConfig(eps=1e-4, seed=3)).fit(mvag)
+        multi = SGLA(_multilevel_config()).fit(mvag)
+        # The refine stage polishes the coarse bias away: the multilevel
+        # optimum must match the flat one to first order.
+        assert np.abs(multi.weights - flat.weights).max() < 1e-2
+        assert multi.objective_value <= flat.objective_value + 1e-3
+
+    def test_stats_populated(self, mvag):
+        result = SGLA(_multilevel_config()).fit(mvag)
+        stats = result.coarsen_stats
+        assert stats is not None
+        assert stats.backend == "heavy-edge"
+        assert len(stats.levels) >= 2
+        assert stats.levels[0] == mvag.n_nodes
+        assert stats.levels[-1] < mvag.n_nodes
+        assert stats.coarse_solves > 0
+        assert stats.fine_solves > 0
+        assert stats.refine_evaluations > 0
+        assert stats.coarsen_seconds >= 0
+        assert str(mvag.n_nodes) in stats.summary()
+        # The fine polish must be cheaper than the flat search it replaces.
+        flat = SGLA(SGLAConfig(eps=1e-4, seed=3)).fit(mvag)
+        assert stats.refine_evaluations < flat.n_objective_evaluations
+
+    def test_landmark_backend(self, mvag):
+        result = SGLA(
+            _multilevel_config(coarsen_backend="landmark")
+        ).fit(mvag)
+        assert result.coarsen_stats.backend == "landmark"
+        assert result.coarsen_stats.levels[-1] < mvag.n_nodes
+        np.testing.assert_allclose(result.weights.sum(), 1.0, atol=1e-9)
+
+    def test_sgla_plus_path(self, mvag):
+        result = SGLAPlus(_multilevel_config()).fit(mvag)
+        assert result.coarsen_stats is not None
+        assert result.coarsen_stats.levels[-1] < mvag.n_nodes
+        np.testing.assert_allclose(result.weights.sum(), 1.0, atol=1e-9)
+        # SGLA+ flat is a one-shot surrogate minimizer; the multilevel
+        # gradient polish must end at least as good an objective.
+        flat = SGLAPlus(SGLAConfig(eps=1e-4, seed=3)).fit(mvag)
+        assert result.objective_value <= flat.objective_value + 1e-9
+
+    def test_deterministic_for_fixed_seed(self, mvag):
+        first = SGLA(_multilevel_config()).fit(mvag)
+        second = SGLA(_multilevel_config()).fit(mvag)
+        np.testing.assert_array_equal(first.weights, second.weights)
+        assert first.objective_value == second.objective_value
+
+    @pytest.mark.parametrize("workers", [0, 1, 2])
+    def test_deterministic_across_shard_workers(self, mvag, workers):
+        """ISSUE acceptance: multilevel results are identical whatever the
+        shard-worker count (0 = classic, 1 = serial plan, 2 = pool)."""
+        reference = SGLA(_multilevel_config()).fit(mvag)
+        sharded = SGLA(
+            _multilevel_config(shard_workers=workers)
+        ).fit(mvag)
+        np.testing.assert_array_equal(reference.weights, sharded.weights)
+        assert reference.objective_value == sharded.objective_value
+
+
+class TestConfigValidation:
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ValidationError):
+            SGLAConfig(coarsen_levels=-1)
+
+    def test_empty_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            SGLAConfig(coarsen_backend="")
+
+    def test_unknown_backend_fails_at_fit(self, mvag):
+        config = SGLAConfig(coarsen_levels=1, coarsen_backend="nope")
+        with pytest.raises(ValidationError, match="nope"):
+            SGLA(config).fit(mvag)
+
+
+class TestCLI:
+    def test_cluster_with_coarsen_prints_stats(self, capsys):
+        code = main(["cluster", "rm", "--method", "sgla", "--coarsen", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coarsen:" in out
+        assert "heavy-edge" in out
+
+    def test_coarsen_backend_choice(self, capsys):
+        code = main(
+            ["cluster", "rm", "--method", "sgla", "--coarsen", "1",
+             "--coarsen-backend", "landmark"]
+        )
+        assert code == 0
+        assert "landmark" in capsys.readouterr().out
+
+
+class TestDynamicGuard:
+    @pytest.fixture(scope="class")
+    def streamed(self):
+        # rp-forest only engages above RP_FOREST_MIN_N (512) nodes;
+        # smaller streams silently resolve to exact and no rerouting
+        # state exists to protect.
+        return generate_mvag(
+            600, 4, graph_view_strengths=(0.7,), attribute_view_dims=(8,),
+            seed=13,
+        )
+
+    def test_rejects_ladder_on_live_rerouted_stream(self, streamed):
+        dynamic = DynamicMVAG(streamed, knn_k=5, knn_backend="rp-forest")
+        assert dynamic.uses_live_forest_rerouting
+        lazy = LazySGLA(k=4, config=SGLAConfig(coarsen_levels=1))
+        with pytest.raises(ValidationError, match="rp-forest"):
+            lazy.fit(dynamic)
+
+    def test_refresh_also_guarded(self, streamed):
+        exact = DynamicMVAG(streamed, knn_k=5, knn_backend="exact")
+        assert not exact.uses_live_forest_rerouting
+        lazy = LazySGLA(k=4, config=SGLAConfig(coarsen_levels=1))
+        lazy.fit(exact)  # exact backend: allowed
+        rerouted = DynamicMVAG(streamed, knn_k=5, knn_backend="rp-forest")
+        with pytest.raises(ValidationError, match="rp-forest"):
+            lazy.refresh(rerouted)
+
+    def test_flat_config_streams_freely(self, streamed):
+        dynamic = DynamicMVAG(streamed, knn_k=5, knn_backend="rp-forest")
+        lazy = LazySGLA(k=4, config=SGLAConfig())  # coarsen_levels=0
+        lazy.fit(dynamic)
+        report = lazy.refresh(dynamic)
+        assert report.weights.shape == (2,)

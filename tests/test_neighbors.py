@@ -449,6 +449,64 @@ class TestRPForest:
                 leaf = tree.leaves[int(tree.leaf_of[index])]
                 assert leaf.count(index) == 1
 
+    def test_streamed_scatter_matches_materialized_merge(self):
+        # The spill-free build scatters each scored chunk straight into
+        # the merge tables; the result must be bit-identical to
+        # materializing the full triplet stream and scattering once
+        # (the pre-PR-7 path, kept for spilled forests).
+        from repro.neighbors.rp_forest import (
+            RPForest,
+            _finish_scatter_tables,
+            _leaf_scatter,
+            _leaf_triplets,
+            _scatter_merge_top_k,
+        )
+
+        k = 7
+        for features in (
+            manifold_features(1100, 24, seed=21),
+            sp.random(1100, 40, density=0.1, format="csr", random_state=3),
+        ):
+            normalized = normalize_rows(features)
+            low = normalized.astype(np.float32)
+            forest = RPForest(low, n_trees=4, leaf_size=40, seed=2)
+            n = low.shape[0]
+            width = forest.n_trees * k
+            col_table = np.full((n, width), -1, dtype=np.int64)
+            val_table = np.full((n, width), -np.inf)
+            scored = _leaf_scatter(low, forest, k, col_table, val_table)
+            streamed = _finish_scatter_tables(col_table, val_table, k)
+
+            rows, cols, vals, slots, scored_ref = _leaf_triplets(
+                low, forest, k
+            )
+            reference = _scatter_merge_top_k(
+                rows, cols, vals, slots, n, width, k
+            )
+            assert scored == scored_ref
+            assert np.array_equal(streamed[0], reference[0])
+            assert np.array_equal(streamed[1], reference[1])
+
+    def test_finish_blocking_is_invariant(self, monkeypatch):
+        # The dedup/top-k finish runs in row blocks purely to bound its
+        # sort temporaries; any block size must give the same tables.
+        import repro.neighbors.rp_forest as rp
+
+        rng = np.random.default_rng(6)
+        n, width, k = 500, 24, 6
+        col_table = rng.integers(-1, n, size=(n, width)).astype(np.int64)
+        val_table = rng.standard_normal((n, width))
+        val_table[col_table < 0] = -np.inf
+        whole = rp._finish_scatter_tables(
+            col_table.copy(), val_table.copy(), k
+        )
+        monkeypatch.setattr(rp, "_FINISH_BLOCK_ROWS", 37)
+        blocked = rp._finish_scatter_tables(
+            col_table.copy(), val_table.copy(), k
+        )
+        assert np.array_equal(whole[0], blocked[0])
+        assert np.array_equal(whole[1], blocked[1])
+
     def test_refinement_improves_or_keeps_recall(self):
         features = manifold_features(3000, 32, latent_dim=12, seed=10)
         exact = knn_graph(features, k=10)
