@@ -93,6 +93,24 @@ def _build_parser() -> argparse.ArgumentParser:
     embed.add_argument("--out", default=None,
                        help="optional .npy path for the embedding")
     _add_solver_args(embed)
+
+    serve_stats = commands.add_parser(
+        "serve-stats",
+        help="query a running serving daemon's health endpoint "
+             "(python -m repro.serve) and print its stats",
+    )
+    serve_stats.add_argument(
+        "address", metavar="HOST:PORT",
+        help="the daemon's announced address",
+    )
+    serve_stats.add_argument(
+        "--tenants", action="store_true",
+        help="also print one line per tenant",
+    )
+    serve_stats.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="seconds to wait for the daemon's reply",
+    )
     return parser
 
 
@@ -302,6 +320,47 @@ def _cmd_embed(args) -> int:
     return 0
 
 
+def _cmd_serve_stats(args) -> int:
+    from repro.serve.client import ServeClient
+    from repro.serve.stats import ServeStats
+    from repro.utils.errors import ServeError
+
+    try:
+        with ServeClient(args.address, timeout=args.timeout) as client:
+            health = client.health(timeout=args.timeout)
+    except OSError as error:
+        raise ServeError(
+            f"cannot reach serve daemon at {args.address}: {error}"
+        ) from error
+    print(f"serve: {ServeStats.summary_from_snapshot(health['stats'])}")
+    print(
+        f"queue: {health['queue_depth']}/{health['queue_capacity']} queued, "
+        f"{health['running']} running, "
+        f"{health['inflight_bytes']} bytes in flight"
+        f"{', draining' if health['draining'] else ''}"
+    )
+    shard = health["shard"]
+    if shard["contexts"]:
+        quarantined = shard["quarantined_workers"]
+        print(
+            f"shard: rung {shard['degradation_rung']} "
+            f"({'/'.join(shard['effective_backends'])}), "
+            f"{shard['degradations']} degradations, "
+            f"{len(quarantined)} quarantined"
+            + (f" ({', '.join(quarantined)})" if quarantined else "")
+        )
+    if args.tenants:
+        for name, tenant in health["stats"]["tenants"].items():
+            print(
+                f"tenant {name}: {tenant['requests']} requests, "
+                f"{tenant['completed']} completed, "
+                f"{tenant['rejected_overload'] + tenant['rejected_quota'] + tenant['rejected_draining']} rejected, "
+                f"{tenant['deadline_expired']} deadline-expired, "
+                f"{tenant['cancelled']} cancelled"
+            )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -311,6 +370,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _cmd_generate,
         "cluster": _cmd_cluster,
         "embed": _cmd_embed,
+        "serve-stats": _cmd_serve_stats,
     }
     try:
         return handlers[args.command](args)

@@ -195,17 +195,30 @@ class StackedLaplacians:
         return max(1, _BATCH_BLOCK_BYTES // (8 * max(self.nnz, 1)))
 
     def combine_many(self, weight_rows: np.ndarray) -> np.ndarray:
-        """Data rows of ``L(w)`` for a batch of weight vectors via one GEMM.
+        """Data rows of ``L(w)`` for a batch of weight vectors.
 
         Materializes the full ``(m, nnz)`` block — callers wanting bounded
         memory should feed at most :meth:`batch_rows` rows per call.
+
+        Rows are computed one GEMV at a time (the same kernel as
+        :meth:`combine`) rather than as a single ``(m, r) @ (r, nnz)``
+        GEMM: BLAS GEMM kernels round differently depending on the block
+        height, which would make a row's data depend on *what else
+        happened to share its batch*.  Row-stable aggregation is what the
+        batched-equals-sequential bit-identity contract rests on (the
+        sharded batch path and the serving daemon's cross-request
+        batching both assert it), and the loop is as memory-bound as the
+        GEMM at the small ``r`` this library sees.
         """
         weight_rows = np.asarray(weight_rows, dtype=np.float64)
         if weight_rows.ndim != 2 or weight_rows.shape[1] != self.r:
             raise ShapeError(
                 f"expected (m, {self.r}) weight rows, got {weight_rows.shape}"
             )
-        return weight_rows @ self.data_stack
+        block = np.empty((weight_rows.shape[0], self.nnz), dtype=np.float64)
+        for index in range(weight_rows.shape[0]):
+            np.matmul(weight_rows[index], self.data_stack, out=block[index])
+        return block
 
     def operator(self, weights) -> spla.LinearOperator:
         """Matrix-free ``x -> sum_i w_i (L_i @ x)`` (never builds ``L(w)``).

@@ -1,0 +1,67 @@
+"""Multi-tenant serving daemon in front of the SGLA pipeline (DESIGN.md §13).
+
+``python -m repro.serve --bind HOST:PORT`` hosts a long-lived daemon
+accepting framed-TCP requests (the MAGIC|len|keyed-BLAKE2b-MAC|pickle
+wire protocol of :mod:`repro.shard.remote`) for cluster / embed /
+objective jobs and runs them through the existing pipeline on shared
+per-worker :class:`~repro.shard.ShardContext`\\ s.  The robustness core:
+
+* **admission control** (:class:`~repro.serve.queue.AdmissionQueue`) —
+  a bounded queue by request count *and* in-flight payload bytes; past
+  either limit new requests are shed with a fast, structured
+  :class:`~repro.utils.errors.ServerOverloaded` instead of OOMing;
+* **per-request deadlines** — an expired queued request never starts; a
+  running one has its remaining budget propagated into the
+  :class:`~repro.shard.resilience.FailureDirector`'s per-attempt
+  deadline machinery (hung shards are reclaimed), and the client gets a
+  structured :class:`~repro.utils.errors.DeadlineExceeded` at its
+  deadline — never a hang;
+* **per-tenant isolation** — token-bucket admission quotas plus
+  start-time-fair (SFQ) weighted dequeue, so one tenant's flood cannot
+  starve another; queue-wait and outcome counters are kept per tenant;
+* **cross-request batching** — compatible objective requests are
+  coalesced into one :meth:`~repro.core.objective.SpectralObjective.
+  evaluate_batch` call through the existing ``batch`` /
+  ``shard_objective_batch`` machinery; solves run cold
+  (``warm_start=False``) so a request's results are bit-identical
+  whether it was batched, served alone, or computed in-process — one
+  tenant's traffic can never perturb another's numbers;
+* **graceful lifecycle** — SIGTERM drains in-flight work and exits 0;
+  ``health`` / ``stats`` ops answer immediately even under overload and
+  report queue depth, the shard degradation rung, and quarantine
+  counters; a crashed worker fleet triggers the PR 6 degradation ladder
+  while the daemon keeps serving.
+
+Gate: ``benchmarks/bench_serve.py`` (QPS + latency percentiles under
+concurrent clients, the overload/shedding contract, batching
+bit-identity, and a chaos leg killing shard workers mid-traffic).
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.config import ServeConfig
+from repro.serve.daemon import ServeDaemon, spawn_daemon
+from repro.serve.queue import AdmissionQueue, RequestEntry, TokenBucket
+from repro.serve.stats import ServeStats
+from repro.utils.errors import (
+    DeadlineExceeded,
+    ServeError,
+    ServerDraining,
+    ServerOverloaded,
+    TenantQuotaExceeded,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "DeadlineExceeded",
+    "RequestEntry",
+    "ServeClient",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeError",
+    "ServeStats",
+    "ServerDraining",
+    "ServerOverloaded",
+    "TenantQuotaExceeded",
+    "TokenBucket",
+    "spawn_daemon",
+]

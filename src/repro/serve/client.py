@@ -1,0 +1,174 @@
+"""Client for the serving daemon: typed errors, deadline-aware sockets.
+
+One :class:`ServeClient` holds one TCP connection (reconnecting lazily
+after a drop) and speaks the :mod:`repro.serve.protocol` schema.  Error
+replies come back as the *typed* exceptions —
+:class:`~repro.utils.errors.ServerOverloaded`,
+:class:`~repro.utils.errors.DeadlineExceeded`, ... — rebuilt from the
+wire ``kind`` tag, so calling code writes ``except ServerOverloaded:``
+instead of string-matching messages.
+
+Socket timeouts track the request deadline plus a grace window: the
+daemon promises a structured reply *at* the deadline, and the grace
+covers wire latency — a client never hangs on a dead daemon either.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from repro.serve.protocol import reply_to_error
+from repro.shard.remote import (
+    CONNECT_TIMEOUT,
+    DEFAULT_AUTHKEY,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.utils.errors import ServeError
+
+#: wire-latency allowance on top of a request deadline.
+REPLY_GRACE = 10.0
+
+
+class ServeClient:
+    """Typed front door to one serving daemon.
+
+    Parameters
+    ----------
+    address:
+        The daemon's ``host:port``.
+    tenant:
+        Tenant identity attached to every submit (quotas, fair share,
+        and per-tenant stats key off it).
+    authkey:
+        Frame-integrity key; must match the daemon's.
+    timeout:
+        Socket timeout for deadline-less requests (``None`` waits
+        indefinitely, matching the daemon's no-deadline contract).
+    """
+
+    def __init__(
+        self,
+        address: str,
+        tenant: str = "default",
+        authkey: bytes = DEFAULT_AUTHKEY,
+        timeout: Optional[float] = None,
+    ) -> None:
+        parse_address(address, what="serve daemon")
+        self.address = address
+        self.tenant = tenant
+        self.authkey = authkey
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+
+    # ------------------------------------------------------------------ #
+
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        host, port = parse_address(self.address, what="serve daemon")
+        sock = socket.create_connection(
+            (host, port), timeout=CONNECT_TIMEOUT
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+
+    def request(
+        self, message: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """One round trip; drops the connection on any transport error."""
+        self.connect()
+        sock = self._sock
+        assert sock is not None
+        effective = timeout if timeout is not None else self.timeout
+        expires_at = (
+            time.monotonic() + effective if effective is not None else None
+        )
+        try:
+            sock.settimeout(effective)
+            send_frame(sock, message, self.authkey)
+            reply = recv_frame(sock, self.authkey, expires_at)
+        except (ConnectionError, socket.timeout, OSError):
+            self.close()
+            raise
+        if not isinstance(reply, dict):
+            self.close()
+            raise ServeError(
+                f"malformed daemon reply: {type(reply).__name__}"
+            )
+        return reply
+
+    def _checked(
+        self, message: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        reply = self.request(message, timeout)
+        if not reply.get("ok"):
+            raise reply_to_error(reply)
+        return reply
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        job: Dict[str, Any],
+        deadline: Optional[float] = None,
+        tenant: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Submit one job; returns the full ``ok`` reply
+        (``result`` / ``queue_wait`` / ``batched``).
+
+        Raises the typed shed/deadline errors on refusal.  The socket
+        timeout is the deadline plus :data:`REPLY_GRACE` — the daemon
+        replies at the deadline, the grace only covers the wire.
+        """
+        timeout = deadline + REPLY_GRACE if deadline is not None else None
+        return self._checked(
+            {
+                "op": "submit",
+                "tenant": tenant if tenant is not None else self.tenant,
+                "deadline": deadline,
+                "job": job,
+            },
+            timeout=timeout,
+        )
+
+    def ping(self, timeout: float = CONNECT_TIMEOUT) -> bool:
+        try:
+            return bool(self.request({"op": "ping"}, timeout).get("ok"))
+        except Exception:
+            return False
+
+    def health(self, timeout: float = CONNECT_TIMEOUT) -> Dict[str, Any]:
+        """The daemon's health snapshot (answered inline, even under
+        overload)."""
+        return self._checked({"op": "health"}, timeout=timeout)
+
+    def stats(self, timeout: float = CONNECT_TIMEOUT) -> Dict[str, Any]:
+        """Per-tenant statistics (the ``stats`` half of the snapshot)."""
+        return self._checked({"op": "stats"}, timeout=timeout)["stats"]
+
+    def drain(self, timeout: float = CONNECT_TIMEOUT) -> None:
+        """Ask the daemon to stop admitting (remote graceful shutdown)."""
+        self._checked({"op": "drain"}, timeout=timeout)

@@ -1,0 +1,128 @@
+"""Serving-daemon configuration (validated at construction).
+
+Mirrors :class:`repro.core.sgla.SGLAConfig`'s style: a frozen dataclass
+whose ``__post_init__`` rejects malformed values with a clear
+:class:`~repro.utils.errors.ValidationError` — a typo'd bind string or
+a zero queue depth fails before a socket is opened, not as a deep stack
+trace under traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.shard.remote import DEFAULT_AUTHKEY, parse_address
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Front-door knobs of one :class:`~repro.serve.daemon.ServeDaemon`.
+
+    Attributes
+    ----------
+    bind:
+        ``host:port`` listen address; port ``0`` asks the kernel for a
+        free port (the daemon announces the actual one).
+    queue_depth:
+        Maximum number of *queued* (admitted, not yet running) requests;
+        the admission-control depth limit.
+    max_inflight_mb:
+        Ceiling on the summed payload bytes of queued + running
+        requests — the never-OOM half of admission control.
+    workers:
+        Executor thread count; each worker owns one persistent
+        :class:`~repro.shard.ShardContext` (when sharding is configured)
+        shared across every request it serves.
+    batch_limit:
+        Maximum compatible objective requests coalesced into one
+        cross-request batch (1 disables batching).
+    tenant_rate:
+        Token-bucket refill rate (requests/second) applied per tenant;
+        ``0`` disables quotas.
+    tenant_burst:
+        Token-bucket capacity (the burst a quiet tenant may spend).
+    tenant_weights:
+        Optional ``{tenant: weight}`` overrides for the weighted-fair
+        dequeue (default weight 1.0; higher = larger share).
+    default_deadline:
+        Deadline (seconds) applied to requests that carry none
+        (``None`` = no implicit deadline).
+    drain_grace:
+        How long a SIGTERM-triggered drain waits for in-flight work
+        before forcing exit.
+    max_datasets:
+        LRU capacity of the per-daemon prepared-dataset cache (profile
+        MVAGs and their view Laplacians).
+    authkey:
+        Shared frame-integrity key of the wire protocol.
+    """
+
+    bind: str = "127.0.0.1:0"
+    queue_depth: int = 64
+    max_inflight_mb: float = 256.0
+    workers: int = 2
+    batch_limit: int = 8
+    tenant_rate: float = 0.0
+    tenant_burst: float = 8.0
+    tenant_weights: Optional[Dict[str, float]] = None
+    default_deadline: Optional[float] = None
+    drain_grace: float = 30.0
+    max_datasets: int = 8
+    authkey: bytes = field(default=DEFAULT_AUTHKEY, repr=False)
+
+    def __post_init__(self) -> None:
+        parse_address(self.bind, allow_port_zero=True, what="serve bind")
+        if self.queue_depth < 1:
+            raise ValidationError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.max_inflight_mb <= 0:
+            raise ValidationError(
+                f"max_inflight_mb must be positive, "
+                f"got {self.max_inflight_mb}"
+            )
+        if self.workers < 1:
+            raise ValidationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.batch_limit < 1:
+            raise ValidationError(
+                f"batch_limit must be >= 1, got {self.batch_limit}"
+            )
+        if self.tenant_rate < 0:
+            raise ValidationError(
+                f"tenant_rate must be >= 0, got {self.tenant_rate}"
+            )
+        if self.tenant_rate > 0 and self.tenant_burst < 1:
+            raise ValidationError(
+                f"tenant_burst must be >= 1 when quotas are on, "
+                f"got {self.tenant_burst}"
+            )
+        for tenant, weight in (self.tenant_weights or {}).items():
+            if weight <= 0:
+                raise ValidationError(
+                    f"tenant weight must be positive, "
+                    f"got {weight} for {tenant!r}"
+                )
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ValidationError(
+                f"default_deadline must be positive seconds, "
+                f"got {self.default_deadline}"
+            )
+        if self.drain_grace < 0:
+            raise ValidationError(
+                f"drain_grace must be >= 0, got {self.drain_grace}"
+            )
+        if self.max_datasets < 1:
+            raise ValidationError(
+                f"max_datasets must be >= 1, got {self.max_datasets}"
+            )
+
+    @property
+    def max_inflight_bytes(self) -> int:
+        return int(self.max_inflight_mb * 1024 * 1024)
+
+    def weight_for(self, tenant: str) -> float:
+        return float((self.tenant_weights or {}).get(tenant, 1.0))

@@ -1,0 +1,521 @@
+"""The serving daemon: sockets, executor threads, lifecycle.
+
+Thread anatomy of one :class:`ServeDaemon`:
+
+* one **accept** thread hands each TCP connection to a
+* **connection** thread (one per client, cheap: it parses frames,
+  admits into the :class:`~repro.serve.queue.AdmissionQueue`, then
+  *waits* — watching both the request's deadline and the client socket,
+  so an expired deadline gets a structured reply the instant it passes
+  and a disconnected client frees its queue slot immediately);
+* ``workers`` **executor** threads, each owning a persistent
+  :class:`~repro.shard.ShardContext` (when a ``shard_factory`` is
+  given).  A worker takes the fair-queue head, coalesces compatible
+  objective requests into one batch, propagates the request's remaining
+  deadline into the shard context's per-attempt deadline (thread-owned
+  context, so the write is race-free), and runs the job.
+
+``health`` / ``stats`` ops are answered inline on the connection thread
+— they never touch the queue, so monitoring keeps working while the
+queue is sheddding load.  A crashed shard fleet surfaces through the
+resilience ladder (the daemon's health payload reports the rung and
+quarantine counters) while the daemon keeps serving.
+
+SIGTERM handling lives in :mod:`repro.serve.__main__`; this class only
+exposes the mechanism (:meth:`drain` + :meth:`stop`).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import select
+import socket
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.serve.config import ServeConfig
+from repro.serve.jobs import (
+    DatasetCache,
+    batch_key,
+    run_cluster,
+    run_embed,
+    run_objective_group,
+)
+from repro.serve.protocol import check_request, error_reply
+from repro.serve.queue import AdmissionQueue, RequestEntry
+from repro.serve.stats import ServeStats
+from repro.shard.remote import parse_address, recv_frame, send_frame
+from repro.utils.errors import ReproError, ServeError
+
+#: slice used when a connection thread waits on an entry — bounds how
+#: late a deadline reply or a disconnect cleanup can be.
+WAIT_SLICE = 0.05
+#: how long spawn_daemon waits for the ready line.
+SPAWN_TIMEOUT = 60.0
+
+
+def _socket_eof(sock: socket.socket) -> bool:
+    """True when the peer closed its end (readable + empty peek)."""
+    try:
+        readable, _, _ = select.select([sock], [], [], 0)
+        if not readable:
+            return False
+        return sock.recv(1, socket.MSG_PEEK | socket.MSG_DONTWAIT) == b""
+    except (BlockingIOError, InterruptedError):
+        return False
+    except OSError:
+        return True
+
+
+class ServeDaemon:
+    """One multi-tenant serving daemon (see module docstring).
+
+    Parameters
+    ----------
+    config:
+        The validated :class:`~repro.serve.config.ServeConfig`.
+    shard_factory:
+        Optional zero-argument callable returning a fresh
+        :class:`~repro.shard.ShardContext`; called once per executor
+        thread (each worker owns its context for the daemon's lifetime —
+        required for race-free per-request deadline propagation).
+        ``None`` serves everything through the in-process serial path.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        shard_factory: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.shard_factory = shard_factory
+        self.stats = ServeStats()
+        self.queue = AdmissionQueue(
+            capacity=self.config.queue_depth,
+            max_bytes=self.config.max_inflight_bytes,
+            stats=self.stats,
+            weight_for=self.config.weight_for,
+            tenant_rate=self.config.tenant_rate,
+            tenant_burst=self.config.tenant_burst,
+        )
+        self.datasets = DatasetCache(self.config.max_datasets)
+        #: test hook: clear to hold executor threads before their next
+        #: take() — lets tests stack compatible requests into one batch
+        #: or fill the queue deterministically; set to release.  Use
+        #: :meth:`hold_workers` to also wait until every executor is
+        #: parked (a worker already blocked inside ``take()`` finishes
+        #: that poll first).
+        self.worker_gate = threading.Event()
+        self.worker_gate.set()
+        self._parked: set = set()
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._workers: List[threading.Thread] = []
+        self._shards: List[Any] = []
+        self._shards_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._drain_requested = threading.Event()
+        self.address: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> str:
+        """Bind, listen, start threads; returns the actual ``host:port``."""
+        host, port = parse_address(
+            self.config.bind, allow_port_zero=True, what="serve bind"
+        )
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((host, port))
+            listener.listen(128)
+        except OSError:
+            listener.close()
+            raise
+        listener.settimeout(0.2)
+        self._listener = listener
+        bound_host, bound_port = listener.getsockname()[:2]
+        self.address = f"{bound_host}:{bound_port}"
+        accept = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True
+        )
+        accept.start()
+        self._threads.append(accept)
+        for index in range(self.config.workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+        return self.address
+
+    def drain(self) -> None:
+        """Stop admitting; in-flight work keeps running (SIGTERM step 1)."""
+        self._drain_requested.set()
+        self.queue.drain()
+
+    def stop(self, drain: bool = True, grace: Optional[float] = None) -> bool:
+        """Shut down; returns ``True`` if in-flight work finished.
+
+        ``drain=True`` waits up to ``grace`` (default: the config's
+        ``drain_grace``) for queued + running requests to complete
+        before tearing threads down; ``drain=False`` abandons them.
+        """
+        drained = True
+        if drain:
+            self.drain()
+            grace = self.config.drain_grace if grace is None else grace
+            drained = self.queue.wait_idle(timeout=grace)
+        self._stopping.set()
+        self.worker_gate.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for worker in self._workers:
+            worker.join(timeout=5)
+        with self._shards_lock:
+            shards, self._shards = self._shards[:], []
+        for shard in shards:
+            try:
+                shard.close()
+            except Exception:
+                pass
+        return drained
+
+    def __enter__(self) -> "ServeDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop(drain=False)
+
+    # ------------------------------------------------------------------ #
+    # Health
+    # ------------------------------------------------------------------ #
+
+    def health_snapshot(self) -> Dict[str, Any]:
+        """The health/stats payload (also what the CLI renders from)."""
+        with self._shards_lock:
+            shards = list(self._shards)
+        rung = 0
+        backends = set()
+        quarantined: List[str] = []
+        degradations = 0
+        workers_quarantined = 0
+        for shard in shards:
+            director = shard.director
+            rung = max(rung, director._rung)
+            backends.add(director.effective_backend(shard.backend))
+            quarantined.extend(
+                worker
+                for worker in list(director._health)
+                if director.is_quarantined(worker)
+            )
+            degradations += shard.stats.degradations
+            workers_quarantined += shard.stats.workers_quarantined
+        return {
+            "ok": True,
+            "address": self.address,
+            "draining": self.queue.draining,
+            "queue_depth": self.queue.depth,
+            "running": self.queue.running,
+            "inflight_bytes": self.queue.inflight_bytes,
+            "queue_capacity": self.config.queue_depth,
+            "shard": {
+                "contexts": len(shards),
+                "degradation_rung": rung,
+                "effective_backends": sorted(backends),
+                "quarantined_workers": sorted(set(quarantined)),
+                "degradations": degradations,
+                "workers_quarantined": workers_quarantined,
+            },
+            "stats": self.stats.snapshot(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Accept / connection threads
+    # ------------------------------------------------------------------ #
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed: shutting down
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-serve-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        try:
+            while not self._stopping.is_set():
+                try:
+                    sock.settimeout(None)
+                    message = recv_frame(sock, self.config.authkey)
+                except (ConnectionError, socket.timeout, OSError):
+                    return
+                try:
+                    reply = self._handle(sock, check_request(message))
+                except ReproError as error:
+                    reply = error_reply(error)
+                except Exception as error:  # defensive: never kill the conn
+                    reply = error_reply(error)
+                if reply is None:
+                    return  # client vanished mid-request
+                try:
+                    send_frame(sock, reply, self.config.authkey)
+                except (ConnectionError, OSError):
+                    return
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _handle(
+        self, sock: socket.socket, message: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        op = message["op"]
+        if op == "ping":
+            return {"ok": True, "pid": os.getpid()}
+        if op in ("health", "stats"):
+            # Inline, never queued: monitoring works under overload.
+            return self.health_snapshot()
+        if op == "drain":
+            self.drain()
+            return {"ok": True, "draining": True}
+        return self._handle_submit(sock, message)
+
+    def _handle_submit(
+        self, sock: socket.socket, message: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        job = message["job"]
+        deadline = message.get("deadline")
+        if deadline is None:
+            deadline = self.config.default_deadline
+        entry = RequestEntry(
+            tenant=message.get("tenant", "default"),
+            job=job,
+            nbytes=len(pickle.dumps(job, pickle.HIGHEST_PROTOCOL)),
+            deadline=deadline,
+            batch_key=batch_key(job),
+        )
+        try:
+            self.queue.submit(entry)
+        except ServeError as error:
+            return error_reply(error)
+        # Admitted: wait for completion, watching deadline + socket.
+        while not entry.done.wait(WAIT_SLICE):
+            if entry.expired():
+                # Structured reply *at* the deadline, even if the job is
+                # still running (its result is discarded on arrival).
+                from repro.utils.errors import DeadlineExceeded
+
+                self.queue.cancel(entry, reason="deadline")
+                return error_reply(DeadlineExceeded(
+                    "deadline expired before a result was produced",
+                    tenant=entry.tenant,
+                    deadline=entry.deadline,
+                    stage="running" if entry.state == "running" else "queued",
+                ))
+            if _socket_eof(sock):
+                self.queue.cancel(entry, reason="disconnect")
+                return None
+        if entry.error is not None:
+            return error_reply(entry.error)
+        return {
+            "ok": True,
+            "result": entry.result,
+            "queue_wait": entry.queue_wait,
+            "batched": entry.batched_with,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Executor threads
+    # ------------------------------------------------------------------ #
+
+    def _make_shard(self):
+        if self.shard_factory is None:
+            return None
+        shard = self.shard_factory()
+        if shard is not None:
+            with self._shards_lock:
+                self._shards.append(shard)
+        return shard
+
+    def hold_workers(self, timeout: float = 10.0) -> bool:
+        """Test hook: freeze every executor thread at the gate.
+
+        Clears :attr:`worker_gate` and waits until all workers are
+        parked, so subsequently submitted requests deterministically
+        stay queued until the gate is re-set.
+        """
+        self.worker_gate.clear()
+        limit = time.monotonic() + timeout
+        while time.monotonic() < limit:
+            if len(self._parked) >= len(self._workers):
+                return True
+            time.sleep(0.005)
+        return False
+
+    def _worker_loop(self) -> None:
+        shard = self._make_shard()
+        name = threading.current_thread().name
+        while not self._stopping.is_set():
+            if not self.worker_gate.is_set():
+                self._parked.add(name)
+                self.worker_gate.wait(timeout=0.2)
+                if self.worker_gate.is_set():
+                    self._parked.discard(name)
+                continue
+            entry = self.queue.take(timeout=0.2)
+            if entry is None:
+                continue
+            group = self.queue.collect_batch(entry, self.config.batch_limit)
+            for member in group:
+                member.batched_with = len(group)
+            self._execute(group, shard)
+
+    def _execute(self, group: List[RequestEntry], shard) -> None:
+        # Propagate the tightest remaining deadline of the group into the
+        # shard context's per-attempt deadline: a hung shard dispatch is
+        # reclaimed by the FailureDirector instead of outliving the
+        # request.  The context is thread-owned, so the write is safe.
+        saved_timeout = None
+        if shard is not None:
+            saved_timeout = shard.timeout
+            remaining = [
+                entry.remaining() for entry in group
+                if entry.remaining() is not None
+            ]
+            if remaining:
+                tightest = max(0.01, min(remaining))
+                shard.timeout = (
+                    min(saved_timeout, tightest)
+                    if saved_timeout is not None else tightest
+                )
+        try:
+            kind = group[0].job.get("kind")
+            if kind == "objective":
+                results = run_objective_group(
+                    [entry.job for entry in group], self.datasets, shard
+                )
+                for entry, result in zip(group, results):
+                    self.queue.finish(entry, result)
+            else:
+                entry = group[0]  # cluster/embed never batch
+                if kind == "cluster":
+                    result = run_cluster(entry.job, self.datasets, shard)
+                else:
+                    result = run_embed(entry.job, self.datasets, shard)
+                self.queue.finish(entry, result)
+        except Exception as error:
+            for entry in group:
+                self.queue.fail(entry, error)
+        finally:
+            if shard is not None:
+                shard.timeout = saved_timeout
+
+
+# ---------------------------------------------------------------------- #
+# Subprocess helper (tests, benchmarks, examples)
+# ---------------------------------------------------------------------- #
+
+class SpawnedDaemon:
+    """A daemon subprocess owned by this process (mirrors _SpawnedWorker)."""
+
+    def __init__(self, process: subprocess.Popen, address: str) -> None:
+        self.process = process
+        self.address = address
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def terminate(self) -> None:
+        """Send SIGTERM (the graceful-drain signal)."""
+        if self.alive():
+            self.process.terminate()
+
+    def wait(self, timeout: float = 30.0) -> Optional[int]:
+        try:
+            return self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            return None
+
+    def kill(self) -> None:
+        if self.alive():
+            try:
+                self.process.kill()
+            except OSError:
+                pass
+        try:
+            self.process.wait(timeout=5)
+        except Exception:
+            pass
+        for stream in (self.process.stdout, self.process.stderr):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+
+
+def spawn_daemon(
+    argv_extra: Optional[List[str]] = None,
+    bind_host: str = "127.0.0.1",
+    capture_stderr: bool = False,
+) -> SpawnedDaemon:
+    """Start ``python -m repro.serve`` and wait for its ready line.
+
+    The daemon binds port 0 and announces
+    ``REPRO-SERVE-READY host port pid`` on stdout (the
+    ``SHARD-WORKER-READY`` convention); we block on that line instead of
+    polling the port.
+    """
+    import repro
+
+    env = dict(os.environ)
+    package_root = str(os.path.dirname(os.path.dirname(repro.__file__)))
+    entries = [package_root] + [p for p in sys.path if p]
+    existing = env.get("PYTHONPATH", "")
+    if existing:
+        entries.append(existing)
+    env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(entries))
+    argv = [
+        sys.executable, "-m", "repro.serve", "--bind", f"{bind_host}:0",
+    ] + list(argv_extra or [])
+    process = subprocess.Popen(
+        argv,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE if capture_stderr else subprocess.DEVNULL,
+        text=True,
+    )
+    started = time.monotonic()
+    line = process.stdout.readline() if process.stdout else ""
+    if not line.startswith("REPRO-SERVE-READY"):
+        process.kill()
+        raise ServeError(
+            f"serve daemon failed to start (output: {line!r}, "
+            f"exit={process.poll()}, waited "
+            f"{time.monotonic() - started:.1f}s)"
+        )
+    _, host, port, _pid = line.split()
+    return SpawnedDaemon(process, f"{host}:{port}")

@@ -1,0 +1,247 @@
+"""Job execution for the serving daemon: datasets, runners, batching.
+
+A job names a dataset **profile** (the daemon generates and caches it)
+plus the pipeline parameters; the daemon never unpickles callables from
+clients — the job vocabulary is the closed set ``cluster`` / ``embed``
+/ ``objective`` from :mod:`repro.serve.protocol`.
+
+Determinism contract (the multi-tenant isolation anchor): objective
+evaluations run **cold** — a fresh
+:class:`~repro.solvers.SolverContext` with ``warm_start=False`` and an
+uncached :class:`~repro.core.objective.SpectralObjective` per group — so
+each weight vector's eigensolve is independent of whatever else happened
+to share its batch.  A request's numbers are bit-identical whether it
+was coalesced into a cross-request batch, served alone, or computed
+in-process by the client; one tenant's traffic can never perturb
+another's results.  (With seeded warm-starts, followers in a batch
+depend on the seed row, which would couple co-batched tenants.)
+
+Cluster and embed jobs call the public pipeline entry points with a
+fixed seed and a fresh solver per request, which is exactly what a
+direct in-process caller does — the same bit-identity argument applies.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.objective import SpectralObjective
+from repro.core.pipeline import cluster_mvag, embed_mvag
+from repro.core.sgla import SGLAConfig, prepare_laplacians
+from repro.datasets.profiles import load_profile_mvag
+from repro.solvers import SolverContext
+from repro.utils.errors import ValidationError
+
+#: SGLAConfig fields a job may override (a closed, validated set — the
+#: rest of the config stays at paper defaults inside the daemon).
+CONFIG_KEYS = (
+    "n_samples", "t_max", "eps", "gamma", "knn_k", "fast_path",
+    "eigen_backend", "warm_start", "coarsen_levels",
+)
+
+
+def job_config(job: Dict[str, Any]) -> SGLAConfig:
+    """Build the job's :class:`SGLAConfig` from its ``config`` overrides."""
+    overrides = job.get("config") or {}
+    unknown = sorted(set(overrides) - set(CONFIG_KEYS))
+    if unknown:
+        raise ValidationError(
+            f"unsupported config override(s) {unknown}; "
+            f"allowed: {sorted(CONFIG_KEYS)}"
+        )
+    return SGLAConfig(**overrides)
+
+
+def batch_key(job: Dict[str, Any]) -> Optional[Tuple]:
+    """Compatibility key for cross-request batching.
+
+    Only ``objective`` jobs batch; two are compatible when they evaluate
+    the same objective surface — same profile dataset, same ``k``, same
+    ``gamma``, same config overrides — and differ only in the weight
+    vector.  Everything else returns ``None`` (never batched).
+    """
+    if job.get("kind") != "objective":
+        return None
+    overrides = tuple(sorted((job.get("config") or {}).items()))
+    return (
+        "objective",
+        job.get("profile"),
+        job.get("seed", 0),
+        job.get("k"),
+        job.get("gamma", 0.5),
+        overrides,
+    )
+
+
+class DatasetCache:
+    """LRU cache of prepared profile datasets shared by all workers.
+
+    Two layers, both bounded by ``capacity`` entries: generated MVAGs
+    keyed by ``(profile, seed)`` and prepared view-Laplacian lists keyed
+    by ``(profile, seed, k, config overrides)``.  Preparation runs under
+    the lock — concurrent first requests for the same profile build it
+    once, not ``workers`` times.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._mvags: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self._laplacians: "OrderedDict[Tuple, Tuple[List, int]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def _get(self, store: OrderedDict, key: Tuple):
+        value = store.get(key)
+        if value is not None:
+            store.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+        return value
+
+    def _put(self, store: OrderedDict, key: Tuple, value) -> None:
+        store[key] = value
+        store.move_to_end(key)
+        while len(store) > self.capacity:
+            store.popitem(last=False)
+
+    def mvag(self, profile: str, seed=0):
+        key = (profile, seed)
+        with self._lock:
+            cached = self._get(self._mvags, key)
+            if cached is not None:
+                return cached
+            mvag = load_profile_mvag(profile, seed=seed)
+            self._put(self._mvags, key, mvag)
+            return mvag
+
+    def laplacians(
+        self,
+        profile: str,
+        seed,
+        k: Optional[int],
+        config: SGLAConfig,
+        overrides_key: Tuple,
+    ) -> Tuple[List, int]:
+        key = (profile, seed, k, overrides_key)
+        with self._lock:
+            cached = self._get(self._laplacians, key)
+            if cached is not None:
+                return cached
+            mvag = self._get(self._mvags, (profile, seed))
+            if mvag is None:
+                mvag = load_profile_mvag(profile, seed=seed)
+                self._put(self._mvags, (profile, seed), mvag)
+            prepared = prepare_laplacians(mvag, k, config)
+            self._put(self._laplacians, key, prepared)
+            return prepared
+
+
+def _require(job: Dict[str, Any], field: str):
+    value = job.get(field)
+    if value is None:
+        raise ValidationError(
+            f"{job.get('kind')} job requires a {field!r} field"
+        )
+    return value
+
+
+def run_cluster(job: Dict[str, Any], cache: DatasetCache, shard) -> dict:
+    """One clustering request through the public pipeline entry point."""
+    profile = _require(job, "profile")
+    config = job_config(job)
+    mvag = cache.mvag(profile, seed=job.get("seed", 0))
+    output = cluster_mvag(
+        mvag,
+        k=job.get("k"),
+        method=job.get("method", "sgla+"),
+        config=config,
+        assign=job.get("assign", "discretize"),
+        seed=job.get("seed", 0),
+        shard=shard,
+    )
+    integration = output.integration
+    return {
+        "labels": output.labels,
+        "weights": integration.weights,
+        "method": integration.method,
+        "objective_value": integration.objective_value,
+        "elapsed_seconds": integration.elapsed_seconds,
+    }
+
+
+def run_embed(job: Dict[str, Any], cache: DatasetCache, shard) -> dict:
+    """One embedding request through the public pipeline entry point."""
+    profile = _require(job, "profile")
+    config = job_config(job)
+    mvag = cache.mvag(profile, seed=job.get("seed", 0))
+    output = embed_mvag(
+        mvag,
+        k=job.get("k"),
+        dim=job.get("dim", 64),
+        method=job.get("method", "sgla+"),
+        config=config,
+        backend=job.get("backend", "auto"),
+        seed=job.get("seed", 0),
+        shard=shard,
+    )
+    return {
+        "embedding": output.embedding,
+        "backend": output.backend,
+        "weights": output.integration.weights,
+        "objective_value": output.integration.objective_value,
+        "elapsed_seconds": output.integration.elapsed_seconds,
+    }
+
+
+def run_objective_group(
+    jobs: List[Dict[str, Any]], cache: DatasetCache, shard
+) -> List[dict]:
+    """Evaluate a group of *compatible* objective jobs in one batch.
+
+    All jobs share a :func:`batch_key`; their weight vectors go through
+    one :meth:`~repro.core.objective.SpectralObjective.evaluate_batch`
+    call (one stacked aggregation, chunked GEMMs, sharded when a shard
+    context is attached).  Solves are cold (see module docstring), so the
+    returned components match a one-job group bit for bit.
+    """
+    head = jobs[0]
+    profile = _require(head, "profile")
+    config = job_config(head)
+    overrides = tuple(sorted((head.get("config") or {}).items()))
+    laplacians, k = cache.laplacians(
+        profile, head.get("seed", 0), head.get("k"), config, overrides
+    )
+    solver = SolverContext(
+        method=config.resolved_eigen_backend,
+        seed=head.get("seed", 0),
+        warm_start=False,
+    )
+    objective = SpectralObjective(
+        laplacians,
+        k=k,
+        gamma=head.get("gamma", 0.5),
+        cache=False,
+        seed=head.get("seed", 0),
+        fast_path=config.fast_path,
+        solver=solver,
+        shard=shard,
+    )
+    weights = [_require(job, "weights") for job in jobs]
+    components, n_solves = objective.evaluate_batch(weights)
+    results = []
+    for parts in components:
+        results.append({
+            "value": parts.value,
+            "eigengap": parts.eigengap,
+            "connectivity": parts.connectivity,
+            "regularization": parts.regularization,
+            "eigenvalues": parts.eigenvalues,
+            "group_solves": n_solves,
+        })
+    return results

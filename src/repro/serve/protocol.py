@@ -1,0 +1,124 @@
+"""Serve wire schema on top of the shard frame protocol.
+
+Frames are the ``MAGIC | length | keyed-BLAKE2b-MAC | pickle`` format of
+:mod:`repro.shard.remote` (:func:`~repro.shard.remote.send_frame` /
+:func:`~repro.shard.remote.recv_frame`), reused verbatim — same
+integrity check, same shared-key handshake.  This module only pins the
+*bodies*:
+
+Request (client -> daemon), one dict per frame::
+
+    {"op": "submit", "tenant": str, "deadline": float|None,
+     "job": {"kind": "cluster"|"embed"|"objective", ...}}
+    {"op": "health"} | {"op": "stats"} | {"op": "ping"} | {"op": "drain"}
+
+Reply (daemon -> client)::
+
+    {"ok": True, "result": ..., "queue_wait": float, "batched": int}
+    {"ok": False, "error": {"kind": str, "message": str, "fields": dict}}
+
+Errors cross the wire as structured ``(kind, message, fields)`` triples
+— never pickled exception objects — so a client can't be handed an
+arbitrary class to unpickle, and :func:`reply_to_error` rebuilds the
+typed exception from the ``kind`` tag on the other side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.utils.errors import (
+    DeadlineExceeded,
+    ReproError,
+    ServeError,
+    ServerDraining,
+    ServerOverloaded,
+    ShardError,
+    TenantQuotaExceeded,
+    ValidationError,
+)
+
+#: daemon-side operations; anything else gets a structured error reply.
+OPS = ("submit", "health", "stats", "ping", "drain")
+
+#: job kinds the executor understands.
+JOB_KINDS = ("cluster", "embed", "objective")
+
+#: wire ``kind`` -> exception class, the client-side decoder ring.
+KIND_TO_ERROR = {
+    "overloaded": ServerOverloaded,
+    "quota": TenantQuotaExceeded,
+    "draining": ServerDraining,
+    "deadline": DeadlineExceeded,
+    "serve": ServeError,
+    "validation": ValidationError,
+    "shard": ShardError,
+}
+
+
+def error_reply(error: BaseException) -> Dict[str, Any]:
+    """Encode any exception as the structured ``ok=False`` reply."""
+    if isinstance(error, ServeError):
+        kind, fields = error.kind, dict(error.fields)
+        message = Exception.__str__(error)  # fields rendered separately
+    elif isinstance(error, ValidationError):
+        kind, fields, message = "validation", {}, str(error)
+    elif isinstance(error, ShardError):
+        kind, fields = "shard", error.context()
+        message = Exception.__str__(error)
+    elif isinstance(error, ReproError):
+        kind, fields, message = "serve", {}, str(error)
+    else:
+        kind, fields = "serve", {"type": type(error).__name__}
+        message = f"internal error: {type(error).__name__}: {error}"
+    return {
+        "ok": False,
+        "error": {"kind": kind, "message": message, "fields": fields},
+    }
+
+
+def reply_to_error(payload: Dict[str, Any]) -> ReproError:
+    """Rebuild the typed exception from an ``ok=False`` reply body."""
+    detail = payload.get("error") or {}
+    kind = detail.get("kind", "serve")
+    message = detail.get("message", "server reported an error")
+    fields = detail.get("fields") or {}
+    cls = KIND_TO_ERROR.get(kind, ServeError)
+    if issubclass(cls, ServeError):
+        return cls(message, **fields)
+    if cls is ShardError:
+        return ShardError(message, **fields)
+    return cls(message)
+
+
+def check_request(message: Any) -> Dict[str, Any]:
+    """Validate an inbound frame body; raise ``ValidationError`` if bad."""
+    if not isinstance(message, dict):
+        raise ValidationError(
+            f"request must be a dict, got {type(message).__name__}"
+        )
+    op = message.get("op")
+    if op not in OPS:
+        raise ValidationError(f"unknown op {op!r} (expected one of {OPS})")
+    if op == "submit":
+        job = message.get("job")
+        if not isinstance(job, dict):
+            raise ValidationError("submit requires a 'job' dict")
+        if job.get("kind") not in JOB_KINDS:
+            raise ValidationError(
+                f"unknown job kind {job.get('kind')!r} "
+                f"(expected one of {JOB_KINDS})"
+            )
+        deadline = message.get("deadline")
+        if deadline is not None and (
+            not isinstance(deadline, (int, float)) or deadline <= 0
+        ):
+            raise ValidationError(
+                f"deadline must be positive seconds, got {deadline!r}"
+            )
+        tenant = message.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise ValidationError(
+                f"tenant must be a non-empty string, got {tenant!r}"
+            )
+    return message

@@ -1,0 +1,481 @@
+"""Bounded multi-tenant admission queue: the daemon's front door.
+
+Three admission gates, applied in order at :meth:`AdmissionQueue.submit`
+(all O(1), so shed requests are rejected in microseconds):
+
+1. **draining** — a daemon winding down refuses new work
+   (:class:`~repro.utils.errors.ServerDraining`);
+2. **tenant quota** — a per-tenant token bucket
+   (:class:`TokenBucket`) sheds requests from a tenant exceeding its
+   admission rate (:class:`~repro.utils.errors.TenantQuotaExceeded`)
+   while the rest of the fleet stays unaffected;
+3. **capacity** — queued-request depth and summed in-flight payload
+   bytes are both bounded (:class:`~repro.utils.errors.ServerOverloaded`
+   past either), so a flood degrades into fast rejections, never into
+   unbounded memory growth.
+
+Dequeue is **start-time fair queuing** (SFQ): every admitted request
+gets a start tag ``max(virtual_clock, tenant's last finish tag)`` and a
+finish tag ``start + 1/weight``; :meth:`take` serves the request with
+the smallest finish tag and advances the virtual clock to its start
+tag.  A tenant that floods the queue only advances *its own* finish
+tags, so an interleaving light tenant is served at its weighted share —
+the classic fair-queuing isolation argument, here applied to requests
+instead of packets.
+
+Expiry and cancellation are first-class: an entry whose deadline passes
+while queued is finalized with
+:class:`~repro.utils.errors.DeadlineExceeded` the moment it would have
+been dequeued (it never starts), and a client that disconnects
+mid-queue has its entry removed and its depth/byte budget released
+immediately — 100 abandoned requests leak nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.serve.stats import ServeStats
+from repro.utils.errors import (
+    DeadlineExceeded,
+    ServerDraining,
+    ServerOverloaded,
+    TenantQuotaExceeded,
+)
+
+#: entry lifecycle states.
+QUEUED, RUNNING, DONE, CANCELLED = "queued", "running", "done", "cancelled"
+
+
+class TokenBucket:
+    """Per-tenant admission rate limiter (``rate`` tokens/s, ``burst`` cap).
+
+    ``clock`` is injectable so tests drive time deterministically.  A
+    ``rate <= 0`` bucket admits everything (quotas off).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def try_admit(self) -> bool:
+        """Spend one token if available; refill lazily from the clock."""
+        if self.rate <= 0:
+            return True
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+        if self._tokens < 1.0:
+            return False
+        self._tokens -= 1.0
+        return True
+
+
+class RequestEntry:
+    """One admitted (or about-to-be-admitted) request.
+
+    The entry is the rendezvous between the connection thread (which
+    waits on :attr:`done` and replies) and the executor thread (which
+    finishes it); all state transitions happen under the owning queue's
+    lock.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        tenant: str,
+        job: Dict[str, Any],
+        nbytes: int = 0,
+        deadline: Optional[float] = None,
+        batch_key: Optional[tuple] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.id = next(self._ids)
+        self.tenant = tenant
+        self.job = job
+        self.nbytes = int(nbytes)
+        self.deadline = deadline
+        self.enqueued_at = clock()
+        self.expires_at = (
+            self.enqueued_at + deadline if deadline is not None else None
+        )
+        self.batch_key = batch_key
+        self.done = threading.Event()
+        self.state = QUEUED
+        self.abandoned = False  # client gave up while we were running
+        self.result: Optional[Any] = None
+        self.error: Optional[BaseException] = None
+        self.queue_wait: float = 0.0
+        self.batched_with: int = 1  # group size the entry executed in
+        # SFQ tags, assigned at submit.
+        self.start_tag: float = 0.0
+        self.finish_tag: float = 0.0
+
+    def remaining(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds until the deadline (``None`` = no deadline)."""
+        if self.expires_at is None:
+            return None
+        return self.expires_at - (time.monotonic() if now is None else now)
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        remaining = self.remaining(now)
+        return remaining is not None and remaining <= 0
+
+
+class AdmissionQueue:
+    """The bounded, weighted-fair, quota'd request queue (see module doc).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued entries.
+    max_bytes:
+        Maximum summed payload bytes across queued *and* running
+        entries.
+    stats:
+        The daemon's :class:`~repro.serve.stats.ServeStats`; every
+        admission outcome is recorded here so callers never have to.
+    weight_for:
+        ``tenant -> weight`` for the fair dequeue (default 1.0).
+    tenant_rate / tenant_burst:
+        Token-bucket parameters applied to every tenant (0 = off).
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        max_bytes: int,
+        stats: Optional[ServeStats] = None,
+        weight_for: Optional[Callable[[str], float]] = None,
+        tenant_rate: float = 0.0,
+        tenant_burst: float = 8.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.capacity = int(capacity)
+        self.max_bytes = int(max_bytes)
+        self.stats = stats if stats is not None else ServeStats()
+        self._weight_for = weight_for or (lambda tenant: 1.0)
+        self._tenant_rate = float(tenant_rate)
+        self._tenant_burst = float(tenant_burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._pending: Dict[str, Deque[RequestEntry]] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._finish_tags: Dict[str, float] = {}
+        self._vclock = 0.0
+        self._depth = 0
+        self._inflight_bytes = 0
+        self._running = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def inflight_bytes(self) -> int:
+        return self._inflight_bytes
+
+    @property
+    def running(self) -> int:
+        return self._running
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def idle(self) -> bool:
+        with self._lock:
+            return self._depth == 0 and self._running == 0
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+
+    def submit(self, entry: RequestEntry) -> None:
+        """Admit ``entry`` or raise a structured shed error (fast, O(1))."""
+        tenant = entry.tenant
+        self.stats.bump(tenant, "requests")
+        with self._lock:
+            if self._draining:
+                self.stats.bump(tenant, "rejected_draining")
+                raise ServerDraining(
+                    "server is draining; not accepting new requests",
+                    tenant=tenant,
+                )
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self._tenant_rate, self._tenant_burst, self._clock
+                )
+            if not bucket.try_admit():
+                self.stats.bump(tenant, "rejected_quota")
+                raise TenantQuotaExceeded(
+                    f"tenant {tenant!r} exceeded its admission rate",
+                    tenant=tenant,
+                    rate=self._tenant_rate,
+                    burst=self._tenant_burst,
+                )
+            if self._depth >= self.capacity:
+                self.stats.bump(tenant, "rejected_overload")
+                raise ServerOverloaded(
+                    "request queue is full",
+                    tenant=tenant,
+                    queue_depth=self._depth,
+                    capacity=self.capacity,
+                )
+            if (
+                self._inflight_bytes + entry.nbytes > self.max_bytes
+                and self._inflight_bytes > 0
+            ):
+                self.stats.bump(tenant, "rejected_overload")
+                raise ServerOverloaded(
+                    "in-flight payload byte budget exhausted",
+                    tenant=tenant,
+                    inflight_bytes=self._inflight_bytes,
+                    max_bytes=self.max_bytes,
+                )
+            # SFQ tags: start at max(virtual clock, tenant's last finish).
+            weight = max(1e-9, self._weight_for(tenant))
+            start = max(self._vclock, self._finish_tags.get(tenant, 0.0))
+            entry.start_tag = start
+            entry.finish_tag = start + 1.0 / weight
+            self._finish_tags[tenant] = entry.finish_tag
+            queue = self._pending.get(tenant)
+            if queue is None:
+                queue = self._pending[tenant] = deque()
+            queue.append(entry)
+            self._depth += 1
+            self._inflight_bytes += entry.nbytes
+            self.stats.bump(tenant, "admitted")
+            self._not_empty.notify()
+
+    # ------------------------------------------------------------------ #
+    # Dequeue
+    # ------------------------------------------------------------------ #
+
+    def _pop_next_locked(self) -> Optional[RequestEntry]:
+        """The SFQ pick: head entry with the smallest finish tag."""
+        best: Optional[RequestEntry] = None
+        best_tenant: Optional[str] = None
+        for tenant, queue in self._pending.items():
+            if not queue:
+                continue
+            head = queue[0]
+            if best is None or head.finish_tag < best.finish_tag or (
+                head.finish_tag == best.finish_tag and head.id < best.id
+            ):
+                best, best_tenant = head, tenant
+        if best is None:
+            return None
+        self._pending[best_tenant].popleft()
+        self._vclock = max(self._vclock, best.start_tag)
+        return best
+
+    def _finalize_expired_locked(self, entry: RequestEntry) -> None:
+        entry.state = DONE
+        entry.error = DeadlineExceeded(
+            "deadline expired while queued (request never started)",
+            tenant=entry.tenant,
+            deadline=entry.deadline,
+            stage="queued",
+        )
+        self._depth -= 1
+        self._inflight_bytes -= entry.nbytes
+        self.stats.bump(entry.tenant, "deadline_expired")
+        entry.done.set()
+        self._idle.notify_all()
+
+    def take(self, timeout: Optional[float] = None) -> Optional[RequestEntry]:
+        """Next runnable entry (marked RUNNING), or ``None`` on timeout.
+
+        Expired queued entries are finalized with ``DeadlineExceeded``
+        on the way — they never run, and their budget is released here.
+        """
+        deadline = (
+            self._clock() + timeout if timeout is not None else None
+        )
+        with self._lock:
+            while True:
+                entry = self._pop_next_locked()
+                if entry is not None:
+                    if entry.state != QUEUED:
+                        # Cancelled entries are removed eagerly; this is
+                        # belt-and-braces against a lost race.
+                        continue
+                    if entry.expired(self._clock()):
+                        self._finalize_expired_locked(entry)
+                        continue
+                    entry.state = RUNNING
+                    entry.queue_wait = self._clock() - entry.enqueued_at
+                    self._depth -= 1
+                    self._running += 1
+                    self.stats.record_wait(entry.tenant, entry.queue_wait)
+                    return entry
+                if deadline is not None:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        return None
+                    self._not_empty.wait(remaining)
+                else:
+                    self._not_empty.wait()
+
+    def collect_batch(
+        self, entry: RequestEntry, limit: int
+    ) -> List[RequestEntry]:
+        """``entry`` plus up to ``limit - 1`` queued entries sharing its
+        ``batch_key``, all marked RUNNING — the cross-request batching
+        hook.  Entries keep their submission order; expired ones are
+        finalized instead of joining the batch."""
+        group = [entry]
+        if entry.batch_key is None or limit <= 1:
+            return group
+        with self._lock:
+            for tenant, queue in self._pending.items():
+                if len(group) >= limit:
+                    break
+                kept: Deque[RequestEntry] = deque()
+                while queue and len(group) < limit:
+                    candidate = queue.popleft()
+                    if candidate.state != QUEUED:
+                        continue
+                    if candidate.batch_key != entry.batch_key:
+                        kept.append(candidate)
+                        continue
+                    if candidate.expired(self._clock()):
+                        self._finalize_expired_locked(candidate)
+                        continue
+                    candidate.state = RUNNING
+                    candidate.queue_wait = (
+                        self._clock() - candidate.enqueued_at
+                    )
+                    self._depth -= 1
+                    self._running += 1
+                    self._vclock = max(self._vclock, candidate.start_tag)
+                    self.stats.record_wait(
+                        candidate.tenant, candidate.queue_wait
+                    )
+                    group.append(candidate)
+                kept.extend(queue)
+                queue.clear()
+                queue.extend(kept)
+        group.sort(key=lambda e: e.id)
+        return group
+
+    # ------------------------------------------------------------------ #
+    # Completion / cancellation
+    # ------------------------------------------------------------------ #
+
+    def finish(self, entry: RequestEntry, result: Any) -> None:
+        """Mark a RUNNING entry done with ``result``; release its budget."""
+        with self._lock:
+            if entry.state != RUNNING:
+                return
+            entry.state = DONE
+            entry.result = result
+            self._running -= 1
+            self._inflight_bytes -= entry.nbytes
+            if not entry.abandoned:
+                self.stats.bump(entry.tenant, "completed")
+                if entry.batched_with > 1:
+                    self.stats.bump(entry.tenant, "batched")
+            entry.done.set()
+            self._idle.notify_all()
+
+    def fail(self, entry: RequestEntry, error: BaseException) -> None:
+        """Mark a RUNNING entry failed; release its budget."""
+        with self._lock:
+            if entry.state != RUNNING:
+                return
+            entry.state = DONE
+            entry.error = error
+            self._running -= 1
+            self._inflight_bytes -= entry.nbytes
+            if not entry.abandoned:
+                if isinstance(error, DeadlineExceeded):
+                    self.stats.bump(entry.tenant, "deadline_expired")
+                else:
+                    self.stats.bump(entry.tenant, "failed")
+            entry.done.set()
+            self._idle.notify_all()
+
+    def cancel(self, entry: RequestEntry, reason: str = "disconnect") -> None:
+        """Client gave up (disconnect or client-side deadline).
+
+        A QUEUED entry is removed and its budget released immediately
+        (the no-leak guarantee); a RUNNING entry is flagged abandoned —
+        its executor finishes and releases the budget, but the result is
+        discarded and not counted as completed.
+        """
+        with self._lock:
+            if entry.state == QUEUED:
+                queue = self._pending.get(entry.tenant)
+                if queue is not None:
+                    try:
+                        queue.remove(entry)
+                    except ValueError:  # pragma: no cover - lost race
+                        pass
+                entry.state = CANCELLED
+                self._depth -= 1
+                self._inflight_bytes -= entry.nbytes
+                if reason == "deadline":
+                    self.stats.bump(entry.tenant, "deadline_expired")
+                else:
+                    self.stats.bump(entry.tenant, "cancelled")
+                entry.done.set()
+                self._idle.notify_all()
+            elif entry.state == RUNNING and not entry.abandoned:
+                entry.abandoned = True
+                if reason == "deadline":
+                    self.stats.bump(entry.tenant, "deadline_expired")
+                else:
+                    self.stats.bump(entry.tenant, "cancelled")
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def drain(self) -> None:
+        """Refuse new admissions; queued/running work keeps going."""
+        with self._lock:
+            self._draining = True
+            self._not_empty.notify_all()
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no queued or running entries remain."""
+        deadline = (
+            self._clock() + timeout if timeout is not None else None
+        )
+        with self._lock:
+            while self._depth > 0 or self._running > 0:
+                if deadline is not None:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        return False
+                    self._idle.wait(remaining)
+                else:
+                    self._idle.wait()
+            return True

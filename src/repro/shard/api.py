@@ -225,9 +225,13 @@ def shard_objective_batch(
         backend = get_eigen_backend("batch")
         if isinstance(backend, BatchedBackend):
             inner = backend.inner
-    parent_block = (
-        solver.warm_block(stack.n) if solver.warm_start else None
-    )
+    # The dense backend ignores start vectors, and the in-process path
+    # (SolverContext._one_solve) never assembles Ritz blocks for it — an
+    # eigh call that also computes vectors rounds its eigenvalues
+    # differently at the last ulp, so requesting vectors here would break
+    # shard-vs-serial bit identity.  Mirror the same coupling.
+    warm = solver.warm_start and inner != "dense"
+    parent_block = solver.warm_block(stack.n) if warm else None
     chunk = stack.batch_rows()
     values: List[np.ndarray] = []
     seed_block: Optional[np.ndarray] = parent_block
@@ -248,7 +252,7 @@ def shard_objective_batch(
                 seed=solver.seed,
                 maxiter=solver.maxiter,
                 v0=parent_block,
-                want_vectors=solver.warm_start,
+                want_vectors=warm,
             )
             result = get_eigen_backend(inner).solve(problem)
             solver.stats.record(
@@ -258,7 +262,7 @@ def shard_objective_batch(
                 coarse=solver.tol > 0,
             )
             solver.seed_block(result.warm_block)
-            if solver.warm_start and seed_block is None:
+            if warm and seed_block is None:
                 seed_block = result.warm_block
             values.append(np.array(result.values, copy=True))
             local_rows = local_rows[1:]

@@ -120,6 +120,11 @@ class ShardContext:
             raise ValidationError(f"workers must be >= 0, got {workers}")
         if retries < 0:
             raise ValidationError(f"retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ValidationError(
+                f"shard timeout (deadline) must be positive seconds, "
+                f"got {timeout}"
+            )
         self.workers = (
             default_shard_workers() if workers is None else int(workers)
         )
@@ -363,16 +368,46 @@ class ShardContext:
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """Release the pool and every shared-memory segment (idempotent)."""
+        """Release the pool and every shared-memory segment.
+
+        Idempotent and safe at interpreter shutdown: a second (or
+        concurrent ``__del__``-triggered) close is a no-op, and when the
+        interpreter is finalizing — e.g. a long-lived daemon-owned
+        context collected at exit — the pool is torn down without
+        joining worker processes (``thread.join`` and fresh thread
+        spawns are unreliable during finalization and are what produced
+        spurious ``Exception ignored in: ...`` warnings).
+        """
         if self._closed:
             return
         self._closed = True
+        finalizing = sys.is_finalizing()
         executor, self._executor = self._executor, None
         if executor is not None:
-            executor.shutdown(wait=True, cancel_futures=True)
+            try:
+                if finalizing:
+                    # Joining forked workers needs live threading
+                    # machinery; just kill them — the work is moot.
+                    processes = list(
+                        (getattr(executor, "_processes", None) or {})
+                        .values()
+                    )
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    for process in processes:
+                        try:
+                            process.kill()
+                        except Exception:
+                            pass
+                else:
+                    executor.shutdown(wait=True, cancel_futures=True)
+            except Exception:  # pragma: no cover - shutdown races
+                pass
         fleet, self._fleet = self._fleet, None
         if fleet is not None:
-            fleet.close()
+            try:
+                fleet.close()
+            except Exception:  # pragma: no cover - shutdown races
+                pass
         self._release_ephemeral()
         persistent, self._persistent = self._persistent, {}
         for segment, _, _ in persistent.values():

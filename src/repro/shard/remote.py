@@ -148,19 +148,41 @@ def recv_frame(
     return pickle.loads(body)
 
 
-def parse_address(address: str) -> Tuple[str, int]:
-    """``"host:port"`` -> ``(host, port)`` with validation."""
+def parse_address(
+    address: str, allow_port_zero: bool = False, what: str = "remote worker"
+) -> Tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` with validation.
+
+    Rejects missing hosts, non-integer or out-of-range ports, with a
+    clear :class:`~repro.utils.errors.ValidationError` naming the bad
+    string — the shared front door for worker ``--bind`` strings, serve
+    daemon binds, and fleet addresses, so a typo fails at construction
+    instead of as a deep ``socket`` stack trace.  ``allow_port_zero``
+    admits the kernel-assigned-port convention used by bind strings.
+    """
+    if not isinstance(address, str):
+        raise ValidationError(
+            f"{what} address must be a host:port string, "
+            f"got {type(address).__name__}"
+        )
     host, sep, port = address.rpartition(":")
     if not sep or not host:
         raise ValidationError(
-            f"remote worker address must be host:port, got {address!r}"
+            f"{what} address must be host:port, got {address!r}"
         )
     try:
-        return host, int(port)
+        port_number = int(port)
     except ValueError:
         raise ValidationError(
-            f"remote worker address has a non-integer port: {address!r}"
+            f"{what} address has a non-integer port: {address!r}"
         ) from None
+    floor = 0 if allow_port_zero else 1
+    if not floor <= port_number <= 65535:
+        raise ValidationError(
+            f"{what} address port must be in [{floor}, 65535], "
+            f"got {address!r}"
+        )
+    return host, port_number
 
 
 class WorkerClient:

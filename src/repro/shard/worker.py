@@ -44,7 +44,7 @@ from repro.shard.remote import (
     recv_frame,
     send_frame,
 )
-from repro.utils.errors import ShardError
+from repro.utils.errors import ReproError, ShardError
 
 
 class _Recycle(Exception):
@@ -140,10 +140,14 @@ def _serve_connection(
 
 def serve(bind: str, max_tasks: int = 0,
           authkey: bytes = DEFAULT_AUTHKEY) -> None:
-    host, _, port = bind.rpartition(":")
+    from repro.shard.remote import parse_address
+
+    host, port = parse_address(
+        bind, allow_port_zero=True, what="worker bind"
+    )
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-    listener.bind((host or "127.0.0.1", int(port)))
+    listener.bind((host, port))
     listener.listen(4)
     actual_host, actual_port = listener.getsockname()[:2]
     print(f"SHARD-WORKER-READY {actual_host} {actual_port} {os.getpid()}",
@@ -193,7 +197,14 @@ def main(argv: Optional[list] = None) -> int:
         authkey = os.environ["REPRO_SHARD_AUTHKEY"].encode("latin-1")
     else:
         authkey = DEFAULT_AUTHKEY
-    serve(args.bind, max_tasks=args.max_tasks, authkey=authkey)
+    try:
+        serve(args.bind, max_tasks=args.max_tasks, authkey=authkey)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: cannot bind {args.bind}: {error}", file=sys.stderr)
+        return 2
     return 0
 
 

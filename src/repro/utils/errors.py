@@ -78,6 +78,69 @@ class ShardError(ReproError, RuntimeError):
         return f"{message} [{detail}]"
 
 
+class ServeError(ReproError, RuntimeError):
+    """A serving-daemon front-door failure (:mod:`repro.serve`).
+
+    These errors travel the wire as structured ``(kind, message,
+    fields)`` triples rather than pickled exception objects, so a client
+    never has to unpickle arbitrary classes to learn why its request was
+    refused.  ``fields`` carries machine-readable context (queue depth,
+    tenant, elapsed seconds, ...) next to the human message.
+    """
+
+    #: wire tag used by :mod:`repro.serve.protocol`; subclasses override.
+    kind = "serve"
+
+    def __init__(self, message: str, **fields) -> None:
+        super().__init__(message)
+        self.fields = {
+            key: value for key, value in fields.items() if value is not None
+        }
+
+    def __str__(self) -> str:
+        message = super().__str__()
+        if not self.fields:
+            return message
+        detail = ", ".join(
+            f"{key}={value}" for key, value in sorted(self.fields.items())
+        )
+        return f"{message} [{detail}]"
+
+
+class ServerOverloaded(ServeError):
+    """Admission control shed the request: the daemon's bounded queue
+    (depth or in-flight bytes) is full.  Shedding is deliberate and
+    *fast* — the alternative is unbounded memory growth and a hang for
+    every client; retry later, ideally with backoff."""
+
+    kind = "overloaded"
+
+
+class TenantQuotaExceeded(ServerOverloaded):
+    """The request was shed by the *tenant's* token bucket, not by
+    global pressure — this tenant is over its admission rate while the
+    server itself may be healthy.  Subclasses :class:`ServerOverloaded`
+    so generic shed handling catches both."""
+
+    kind = "quota"
+
+
+class ServerDraining(ServeError):
+    """The daemon received a shutdown request (SIGTERM) and is draining:
+    in-flight work finishes, new admissions are refused."""
+
+    kind = "draining"
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline expired before a result was produced —
+    while queued (never started) or while running (the shard dispatches
+    it owned were reclaimed through their per-attempt deadlines).  The
+    client always gets this structured reply instead of a hang."""
+
+    kind = "deadline"
+
+
 class ShardDegradation(UserWarning):
     """A shard dispatch exhausted a backend and fell down the resilience
     ladder (``remote -> process -> serial``).  Results are still correct

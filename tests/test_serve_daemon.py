@@ -1,0 +1,424 @@
+"""Integration tests of the serving daemon (DESIGN.md §13).
+
+Live daemons on loopback sockets: determinism (served results are
+bit-identical to direct in-process computation, batched or not),
+admission control under synthetic overload, deadline behaviour, tenant
+quotas, connection-abandonment hygiene, and the graceful-lifecycle
+contracts (SIGTERM drain + exit 0, busy-port double start, draining
+refusals).  The ``worker_gate`` test hook freezes the executor threads
+so queue states are constructed deterministically, not by racing.
+"""
+
+from __future__ import annotations
+
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.objective import SpectralObjective
+from repro.core.pipeline import cluster_mvag
+from repro.core.sgla import SGLAConfig, prepare_laplacians
+from repro.datasets.profiles import load_profile_mvag
+from repro.serve import (
+    DeadlineExceeded,
+    ServeClient,
+    ServeConfig,
+    ServeDaemon,
+    ServerDraining,
+    ServerOverloaded,
+    TenantQuotaExceeded,
+)
+from repro.serve.daemon import spawn_daemon
+from repro.shard.remote import send_frame
+from repro.solvers import SolverContext
+from repro.utils.errors import ValidationError
+
+PROFILE = "rm_small"
+R = 11  # view count of rm_small
+
+
+def simplex_weights(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    raw = rng.random(R) + 0.05
+    return raw / raw.sum()
+
+
+@pytest.fixture()
+def daemon():
+    with ServeDaemon(ServeConfig(bind="127.0.0.1:0", workers=2)) as live:
+        yield live
+
+
+@pytest.fixture()
+def client(daemon):
+    with ServeClient(daemon.address) as live:
+        yield live
+
+
+def wait_for(predicate, timeout=5.0, interval=0.01) -> bool:
+    limit = time.monotonic() + timeout
+    while time.monotonic() < limit:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# ---------------------------------------------------------------------- #
+# Determinism: served == direct, batched == sequential
+# ---------------------------------------------------------------------- #
+
+class TestBitIdentity:
+    def test_cluster_matches_direct_pipeline(self, client):
+        reply = client.submit({"kind": "cluster", "profile": PROFILE})
+        mvag = load_profile_mvag(PROFILE, seed=0)
+        direct = cluster_mvag(mvag, config=SGLAConfig(), seed=0)
+        np.testing.assert_array_equal(
+            reply["result"]["labels"], direct.labels
+        )
+        assert reply["result"]["objective_value"] == (
+            direct.integration.objective_value
+        )
+
+    def test_objective_matches_direct_cold_evaluation(self, client):
+        weights = simplex_weights(1)
+        reply = client.submit({
+            "kind": "objective", "profile": PROFILE, "weights": weights,
+        })
+        mvag = load_profile_mvag(PROFILE, seed=0)
+        laplacians, k = prepare_laplacians(mvag, None, SGLAConfig())
+        objective = SpectralObjective(
+            laplacians, k=k, cache=False,
+            solver=SolverContext(warm_start=False),
+        )
+        assert reply["result"]["value"] == objective(weights)
+
+    def test_batched_equals_sequential_bitwise(self, daemon):
+        # Sequential: one at a time (workers live, nothing to coalesce).
+        points = [simplex_weights(seed) for seed in range(4)]
+        with ServeClient(daemon.address) as client:
+            sequential = [
+                client.submit({
+                    "kind": "objective", "profile": PROFILE, "weights": w,
+                })["result"]["value"]
+                for w in points
+            ]
+        # Batched: freeze the executors, stack all four compatible
+        # requests, release — they run as one evaluate_batch group.
+        assert daemon.hold_workers()
+        replies = [None] * len(points)
+
+        def submit(index: int) -> None:
+            with ServeClient(daemon.address, tenant=f"t{index}") as c:
+                replies[index] = c.submit({
+                    "kind": "objective", "profile": PROFILE,
+                    "weights": points[index],
+                })
+
+        threads = [
+            threading.Thread(target=submit, args=(i,))
+            for i in range(len(points))
+        ]
+        for thread in threads:
+            thread.start()
+        assert wait_for(lambda: daemon.queue.depth == len(points))
+        daemon.worker_gate.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert max(reply["batched"] for reply in replies) > 1
+        batched = [reply["result"]["value"] for reply in replies]
+        assert batched == sequential  # bitwise, not approx
+
+    def test_incompatible_objectives_not_batched(self, daemon):
+        assert daemon.hold_workers()
+        replies = {}
+
+        def submit(gamma: float) -> None:
+            with ServeClient(daemon.address) as c:
+                replies[gamma] = c.submit({
+                    "kind": "objective", "profile": PROFILE,
+                    "weights": simplex_weights(0), "gamma": gamma,
+                })
+
+        threads = [
+            threading.Thread(target=submit, args=(gamma,))
+            for gamma in (0.25, 0.75)
+        ]
+        for thread in threads:
+            thread.start()
+        assert wait_for(lambda: daemon.queue.depth == 2)
+        daemon.worker_gate.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert all(reply["batched"] == 1 for reply in replies.values())
+        # Different gamma, genuinely different values.
+        assert (
+            replies[0.25]["result"]["value"]
+            != replies[0.75]["result"]["value"]
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Overload, deadlines, quotas
+# ---------------------------------------------------------------------- #
+
+class TestOverload:
+    def test_queue_full_sheds_fast_with_structured_error(self):
+        config = ServeConfig(bind="127.0.0.1:0", workers=1, queue_depth=2)
+        with ServeDaemon(config) as daemon:
+            assert daemon.hold_workers()  # nothing dequeues
+            fillers = [ServeClient(daemon.address) for _ in range(2)]
+            threads = []
+            try:
+                for filler in fillers:
+                    thread = threading.Thread(
+                        target=lambda c=filler: c.submit({
+                            "kind": "cluster", "profile": PROFILE,
+                        }),
+                        daemon=True,
+                    )
+                    thread.start()
+                    threads.append(thread)
+                assert wait_for(lambda: daemon.queue.depth == 2)
+                with ServeClient(daemon.address) as extra:
+                    started = time.monotonic()
+                    with pytest.raises(ServerOverloaded) as excinfo:
+                        extra.submit({
+                            "kind": "cluster", "profile": PROFILE,
+                        })
+                    elapsed = time.monotonic() - started
+                assert elapsed < 1.0  # shed, not queued-then-timed-out
+                assert excinfo.value.fields["capacity"] == 2
+            finally:
+                daemon.worker_gate.set()
+                for thread in threads:
+                    thread.join(timeout=30)
+                for filler in fillers:
+                    filler.close()
+
+    def test_health_answers_inline_under_overload(self):
+        config = ServeConfig(bind="127.0.0.1:0", workers=1, queue_depth=1)
+        with ServeDaemon(config) as daemon:
+            assert daemon.hold_workers()
+            filler = ServeClient(daemon.address)
+            thread = threading.Thread(
+                target=lambda: filler.submit({
+                    "kind": "cluster", "profile": PROFILE,
+                }),
+                daemon=True,
+            )
+            thread.start()
+            try:
+                assert wait_for(lambda: daemon.queue.depth == 1)
+                with ServeClient(daemon.address) as monitor:
+                    health = monitor.health(timeout=2.0)
+                assert health["queue_depth"] == 1
+                assert health["stats"]["totals"]["admitted"] == 1
+            finally:
+                daemon.worker_gate.set()
+                thread.join(timeout=30)
+                filler.close()
+
+    def test_deadline_expires_while_queued(self):
+        config = ServeConfig(bind="127.0.0.1:0", workers=1)
+        with ServeDaemon(config) as daemon:
+            assert daemon.hold_workers()
+            with ServeClient(daemon.address) as client:
+                started = time.monotonic()
+                with pytest.raises(DeadlineExceeded) as excinfo:
+                    client.submit(
+                        {"kind": "cluster", "profile": PROFILE},
+                        deadline=0.3,
+                    )
+                elapsed = time.monotonic() - started
+            # Replied at the deadline (plus a wait slice), not a hang.
+            assert 0.2 < elapsed < 2.0
+            assert excinfo.value.fields["stage"] == "queued"
+            assert daemon.stats.total("deadline_expired") == 1
+            daemon.worker_gate.set()
+
+    def test_default_deadline_applied_when_request_has_none(self):
+        config = ServeConfig(
+            bind="127.0.0.1:0", workers=1, default_deadline=0.3
+        )
+        with ServeDaemon(config) as daemon:
+            assert daemon.hold_workers()
+            with ServeClient(daemon.address, timeout=10.0) as client:
+                with pytest.raises(DeadlineExceeded):
+                    client.submit({"kind": "cluster", "profile": PROFILE})
+            daemon.worker_gate.set()
+
+    def test_tenant_quota_sheds_noisy_tenant_only(self):
+        config = ServeConfig(
+            bind="127.0.0.1:0", workers=2,
+            tenant_rate=0.001, tenant_burst=2.0,
+        )
+        with ServeDaemon(config) as daemon:
+            with ServeClient(daemon.address, tenant="noisy") as noisy:
+                noisy.submit({"kind": "cluster", "profile": PROFILE})
+                noisy.submit({"kind": "cluster", "profile": PROFILE})
+                with pytest.raises(TenantQuotaExceeded):
+                    noisy.submit({"kind": "cluster", "profile": PROFILE})
+            with ServeClient(daemon.address, tenant="quiet") as quiet:
+                reply = quiet.submit({
+                    "kind": "cluster", "profile": PROFILE,
+                })
+            assert reply["ok"]
+            snap = daemon.stats.snapshot()
+            assert snap["tenants"]["noisy"]["rejected_quota"] == 1
+            assert snap["tenants"]["quiet"]["rejected_quota"] == 0
+
+
+# ---------------------------------------------------------------------- #
+# Connection hygiene
+# ---------------------------------------------------------------------- #
+
+class TestAbandonment:
+    def test_hundred_abandoned_requests_leak_nothing(self):
+        config = ServeConfig(
+            bind="127.0.0.1:0", workers=1, queue_depth=256
+        )
+        with ServeDaemon(config) as daemon:
+            assert daemon.hold_workers()  # requests stay queued
+            host, port = daemon.address.rsplit(":", 1)
+            for index in range(100):
+                sock = socket.create_connection((host, int(port)), 5.0)
+                send_frame(sock, {
+                    "op": "submit", "tenant": f"t{index % 7}",
+                    "deadline": None,
+                    "job": {"kind": "cluster", "profile": PROFILE},
+                })
+                sock.close()  # abandon without reading the reply
+            # Every slot and byte must come back.
+            assert wait_for(
+                lambda: daemon.queue.depth == 0
+                and daemon.queue.inflight_bytes == 0,
+                timeout=20.0,
+            ), (daemon.queue.depth, daemon.queue.inflight_bytes)
+            assert daemon.stats.total("cancelled") == 100
+            daemon.worker_gate.set()
+            # The daemon still serves after the churn.
+            with ServeClient(daemon.address) as client:
+                assert client.submit(
+                    {"kind": "cluster", "profile": PROFILE}
+                )["ok"]
+
+    def test_malformed_request_gets_structured_error(self, client):
+        from repro.serve.protocol import reply_to_error
+
+        reply = client.request({"op": "nonsense"})
+        assert reply["ok"] is False
+        assert isinstance(reply_to_error(reply), ValidationError)
+        with pytest.raises(ValidationError):
+            client.submit({"kind": "alchemy", "profile": PROFILE})
+
+
+# ---------------------------------------------------------------------- #
+# Lifecycle
+# ---------------------------------------------------------------------- #
+
+class TestLifecycle:
+    def test_draining_daemon_refuses_new_work(self, daemon):
+        with ServeClient(daemon.address) as client:
+            client.drain()
+            with pytest.raises(ServerDraining):
+                client.submit({"kind": "cluster", "profile": PROFILE})
+
+    def test_sigterm_drains_and_exits_zero(self):
+        spawned = spawn_daemon(["--workers", "2"], capture_stderr=True)
+        outcomes = []
+
+        def pound(index: int) -> None:
+            try:
+                with ServeClient(spawned.address, tenant=f"t{index}") as c:
+                    for _ in range(3):
+                        reply = c.submit({
+                            "kind": "objective", "profile": PROFILE,
+                            "weights": simplex_weights(index),
+                        })
+                        outcomes.append(("ok", reply["result"]["value"]))
+            except (ServerDraining, ConnectionError, OSError) as error:
+                outcomes.append(("refused", type(error).__name__))
+
+        try:
+            threads = [
+                threading.Thread(target=pound, args=(i,)) for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.2)  # let traffic get in flight
+            spawned.terminate()  # SIGTERM mid-stream
+            for thread in threads:
+                thread.join(timeout=30)
+            code = spawned.wait(timeout=30)
+            stderr = spawned.process.stderr.read()
+        finally:
+            spawned.kill()
+        assert code == 0, stderr
+        # Every request either completed (drained) or was cleanly
+        # refused — no hangs, no dirty deaths.
+        assert outcomes
+        assert any(kind == "ok" for kind, _ in outcomes)
+        assert "serve:" in stderr  # final stats line on stderr
+
+    def test_double_start_on_busy_port_fails_cleanly(self, daemon):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.serve",
+             "--bind", daemon.address],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 2
+        assert result.stderr.startswith("error:")
+        assert "Traceback" not in result.stderr
+
+    def test_malformed_bind_fails_cleanly(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.serve", "--bind", "nonsense"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 2
+        assert result.stderr.startswith("error:")
+        assert "Traceback" not in result.stderr
+
+
+# ---------------------------------------------------------------------- #
+# CLI: serve-stats renders from the health endpoint
+# ---------------------------------------------------------------------- #
+
+class TestServeStatsCLI:
+    def test_stats_line_from_live_daemon(self, daemon):
+        with ServeClient(daemon.address, tenant="cli-test") as client:
+            client.submit({
+                "kind": "objective", "profile": PROFILE,
+                "weights": simplex_weights(0),
+            })
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "serve-stats",
+             daemon.address, "--tenants"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.startswith("serve: ")
+        assert "1 completed" in result.stdout
+        assert "queue: " in result.stdout
+        assert "tenant cli-test:" in result.stdout
+
+    def test_unreachable_daemon_fails_cleanly(self):
+        # A port nothing listens on: reserve one, close it, query it.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "serve-stats",
+             f"127.0.0.1:{port}", "--timeout", "5"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 2
+        assert result.stderr.startswith("error:")
+        assert "Traceback" not in result.stderr

@@ -1,0 +1,361 @@
+"""Unit tests of the serving daemon's admission queue (DESIGN.md §13).
+
+The queue is the robustness core: depth + byte bounds, per-tenant token
+buckets, start-time-fair dequeue, deadline finalization of queued
+entries, and the no-leak cancellation contract.  Everything here runs
+single-threaded with an injected fake clock — determinism over sockets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.queue import (
+    AdmissionQueue,
+    QUEUED,
+    RequestEntry,
+    TokenBucket,
+)
+from repro.serve.stats import ServeStats, percentile
+from repro.utils.errors import (
+    DeadlineExceeded,
+    ServerDraining,
+    ServerOverloaded,
+    TenantQuotaExceeded,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make_queue(clock=None, **overrides) -> AdmissionQueue:
+    params = dict(capacity=4, max_bytes=1000, stats=ServeStats())
+    if clock is not None:
+        params["clock"] = clock
+    params.update(overrides)
+    return AdmissionQueue(**params)
+
+
+def entry(tenant="a", nbytes=10, deadline=None, batch_key=None, clock=None):
+    kwargs = {}
+    if clock is not None:
+        kwargs["clock"] = clock
+    return RequestEntry(
+        tenant=tenant, job={"kind": "objective"}, nbytes=nbytes,
+        deadline=deadline, batch_key=batch_key, **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Token bucket
+# ---------------------------------------------------------------------- #
+
+class TestTokenBucket:
+    def test_zero_rate_admits_everything(self):
+        bucket = TokenBucket(rate=0.0, burst=1.0)
+        assert all(bucket.try_admit() for _ in range(100))
+
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_admit() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refill_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        bucket.try_admit()
+        bucket.try_admit()
+        assert not bucket.try_admit()
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token
+        assert bucket.try_admit()
+        assert not bucket.try_admit()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.try_admit()
+        assert bucket.try_admit()
+        assert not bucket.try_admit()
+
+
+# ---------------------------------------------------------------------- #
+# Admission gates
+# ---------------------------------------------------------------------- #
+
+class TestAdmission:
+    def test_capacity_rejection_is_structured(self):
+        queue = make_queue(capacity=2)
+        queue.submit(entry())
+        queue.submit(entry())
+        with pytest.raises(ServerOverloaded) as excinfo:
+            queue.submit(entry())
+        assert excinfo.value.fields["queue_depth"] == 2
+        assert queue.stats.total("rejected_overload") == 1
+
+    def test_byte_budget_rejection(self):
+        queue = make_queue(capacity=100, max_bytes=100)
+        queue.submit(entry(nbytes=80))
+        with pytest.raises(ServerOverloaded) as excinfo:
+            queue.submit(entry(nbytes=80))
+        assert "byte budget" in str(excinfo.value)
+
+    def test_oversize_single_request_admitted_when_empty(self):
+        # A request bigger than the whole budget must not deadlock the
+        # queue forever: alone, it is admitted.
+        queue = make_queue(max_bytes=100)
+        queue.submit(entry(nbytes=500))
+        assert queue.depth == 1
+
+    def test_draining_rejects_new_admissions(self):
+        queue = make_queue()
+        queue.drain()
+        with pytest.raises(ServerDraining):
+            queue.submit(entry())
+        assert queue.stats.total("rejected_draining") == 1
+
+    def test_quota_sheds_only_the_noisy_tenant(self):
+        clock = FakeClock()
+        queue = make_queue(
+            clock=clock, capacity=100, tenant_rate=1.0, tenant_burst=2.0
+        )
+        queue.submit(entry("noisy", clock=clock))
+        queue.submit(entry("noisy", clock=clock))
+        with pytest.raises(TenantQuotaExceeded):
+            queue.submit(entry("noisy", clock=clock))
+        # The quiet tenant is unaffected by the noisy one's empty bucket.
+        queue.submit(entry("quiet", clock=clock))
+        assert queue.stats.total("rejected_quota") == 1
+
+    def test_quota_is_a_kind_of_overload(self):
+        # Generic shed handling (except ServerOverloaded) catches quotas.
+        assert issubclass(TenantQuotaExceeded, ServerOverloaded)
+
+
+# ---------------------------------------------------------------------- #
+# Fair dequeue
+# ---------------------------------------------------------------------- #
+
+class TestFairDequeue:
+    def test_fifo_within_one_tenant(self):
+        queue = make_queue(capacity=10)
+        entries = [entry("a") for _ in range(3)]
+        for item in entries:
+            queue.submit(item)
+        taken = [queue.take(timeout=0.1) for _ in range(3)]
+        assert [t.id for t in taken] == [e.id for e in entries]
+
+    def test_flood_does_not_starve_light_tenant(self):
+        # Tenant a floods 6 requests, then b submits 2: SFQ interleaves
+        # b's requests ahead of a's backlog instead of FIFO-starving b.
+        queue = make_queue(capacity=20)
+        for _ in range(6):
+            queue.submit(entry("a"))
+        for _ in range(2):
+            queue.submit(entry("b"))
+        order = [queue.take(timeout=0.1).tenant for _ in range(8)]
+        # Both of b's requests are served within the first four slots.
+        assert order[:4].count("b") == 2
+
+    def test_weights_skew_the_share(self):
+        weights = {"gold": 3.0, "bronze": 1.0}
+        queue = make_queue(
+            capacity=40, weight_for=lambda t: weights.get(t, 1.0)
+        )
+        for _ in range(9):
+            queue.submit(entry("gold"))
+            queue.submit(entry("bronze"))
+        first_eight = [queue.take(timeout=0.1).tenant for _ in range(8)]
+        # Weight 3 vs 1: gold gets ~3x the early slots.
+        assert first_eight.count("gold") >= 5
+
+    def test_take_times_out_empty(self):
+        queue = make_queue()
+        assert queue.take(timeout=0.01) is None
+
+
+# ---------------------------------------------------------------------- #
+# Deadlines, cancellation, accounting
+# ---------------------------------------------------------------------- #
+
+class TestLifecycle:
+    def test_expired_queued_entry_never_starts(self):
+        clock = FakeClock()
+        queue = make_queue(clock=clock, capacity=10)
+        stale = entry("a", deadline=1.0, clock=clock)
+        queue.submit(stale)
+        fresh = entry("a", deadline=100.0, clock=clock)
+        queue.submit(fresh)
+        clock.advance(5.0)
+        taken = queue.take(timeout=0.1)
+        assert taken is fresh
+        assert stale.done.is_set()
+        assert isinstance(stale.error, DeadlineExceeded)
+        assert queue.stats.total("deadline_expired") == 1
+        # Its budget was released with it.
+        assert queue.inflight_bytes == fresh.nbytes
+
+    def test_cancel_queued_frees_slot_immediately(self):
+        queue = make_queue(capacity=2)
+        first = entry()
+        queue.submit(first)
+        queue.submit(entry())
+        queue.cancel(first)
+        assert first.done.is_set()
+        assert queue.depth == 1
+        queue.submit(entry())  # the freed slot is reusable
+        assert queue.stats.total("cancelled") == 1
+
+    def test_no_leak_after_many_abandoned(self):
+        # The satellite contract: 100 abandoned requests leave zero
+        # queued entries and zero in-flight bytes behind.
+        queue = make_queue(capacity=200, max_bytes=10**9)
+        entries = [entry(nbytes=1000) for _ in range(100)]
+        for item in entries:
+            queue.submit(item)
+        for item in entries:
+            queue.cancel(item)
+        assert queue.depth == 0
+        assert queue.inflight_bytes == 0
+        assert queue.idle()
+
+    def test_cancel_running_marks_abandoned_and_releases_on_finish(self):
+        queue = make_queue()
+        item = entry(nbytes=50)
+        queue.submit(item)
+        taken = queue.take(timeout=0.1)
+        queue.cancel(taken)
+        assert taken.abandoned
+        assert queue.inflight_bytes == 50  # still running
+        queue.finish(taken, {"x": 1})
+        assert queue.inflight_bytes == 0
+        # Abandoned completions don't count as served.
+        assert queue.stats.total("completed") == 0
+
+    def test_finish_and_fail_release_bytes_once(self):
+        queue = make_queue()
+        good, bad = entry(nbytes=30), entry(nbytes=20)
+        queue.submit(good)
+        queue.submit(bad)
+        a = queue.take(timeout=0.1)
+        b = queue.take(timeout=0.1)
+        queue.finish(a, "ok")
+        queue.fail(b, RuntimeError("boom"))
+        queue.finish(a, "again")  # double-complete is a no-op
+        assert queue.inflight_bytes == 0
+        assert queue.stats.total("completed") == 1
+        assert queue.stats.total("failed") == 1
+        assert queue.idle()
+
+    def test_wait_idle(self):
+        queue = make_queue()
+        item = entry()
+        queue.submit(item)
+        assert not queue.wait_idle(timeout=0.01)
+        taken = queue.take(timeout=0.1)
+        queue.finish(taken, None)
+        assert queue.wait_idle(timeout=0.1)
+
+
+# ---------------------------------------------------------------------- #
+# Batch collection
+# ---------------------------------------------------------------------- #
+
+class TestCollectBatch:
+    def test_collects_only_matching_keys(self):
+        queue = make_queue(capacity=10)
+        key = ("objective", "p", 0)
+        matching = [entry("a", batch_key=key) for _ in range(3)]
+        other = entry("a", batch_key=("objective", "q", 0))
+        for item in matching:
+            queue.submit(item)
+        queue.submit(other)
+        head = queue.take(timeout=0.1)
+        group = queue.collect_batch(head, limit=8)
+        assert {g.id for g in group} == {m.id for m in matching}
+        assert other.state == QUEUED
+
+    def test_limit_respected(self):
+        queue = make_queue(capacity=10)
+        key = ("objective", "p", 0)
+        for _ in range(5):
+            queue.submit(entry("a", batch_key=key))
+        head = queue.take(timeout=0.1)
+        group = queue.collect_batch(head, limit=3)
+        assert len(group) == 3
+        assert queue.depth == 2
+
+    def test_cross_tenant_batching(self):
+        queue = make_queue(capacity=10)
+        key = ("objective", "p", 0)
+        queue.submit(entry("a", batch_key=key))
+        queue.submit(entry("b", batch_key=key))
+        head = queue.take(timeout=0.1)
+        group = queue.collect_batch(head, limit=8)
+        assert sorted(g.tenant for g in group) == ["a", "b"]
+
+    def test_none_key_never_batches(self):
+        queue = make_queue(capacity=10)
+        queue.submit(entry("a", batch_key=None))
+        queue.submit(entry("a", batch_key=None))
+        head = queue.take(timeout=0.1)
+        assert queue.collect_batch(head, limit=8) == [head]
+
+    def test_expired_member_finalized_not_batched(self):
+        clock = FakeClock()
+        queue = make_queue(clock=clock, capacity=10)
+        key = ("objective", "p", 0)
+        fresh = entry("a", batch_key=key, clock=clock)
+        stale = entry("a", batch_key=key, deadline=1.0, clock=clock)
+        queue.submit(fresh)
+        queue.submit(stale)
+        clock.advance(2.0)
+        head = queue.take(timeout=0.1)
+        group = queue.collect_batch(head, limit=8)
+        assert group == [head]
+        assert isinstance(stale.error, DeadlineExceeded)
+
+
+# ---------------------------------------------------------------------- #
+# Stats
+# ---------------------------------------------------------------------- #
+
+class TestStats:
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([5.0], 99) == 5.0
+        samples = list(range(1, 101))
+        assert percentile(samples, 50) == pytest.approx(50, abs=1)
+        assert percentile(samples, 99) == pytest.approx(99, abs=1)
+
+    def test_snapshot_and_summary_roundtrip(self):
+        stats = ServeStats()
+        stats.bump("a", "requests", 3)
+        stats.bump("a", "completed", 2)
+        stats.bump("b", "requests")
+        stats.bump("b", "rejected_overload")
+        stats.record_wait("a", 0.010)
+        stats.record_wait("a", 0.020)
+        snap = stats.snapshot()
+        assert snap["totals"]["requests"] == 4
+        assert snap["tenants"]["b"]["rejected_overload"] == 1
+        line = stats.summary()
+        assert "4 requests" in line and "2 tenants" in line
+        assert "1 rejected" in line
+        # The remote renderer (CLI from the health endpoint) matches the
+        # in-process one exactly.
+        assert ServeStats.summary_from_snapshot(snap) == line
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError):
+            ServeStats().bump("a", "nonsense")

@@ -367,6 +367,32 @@ class TestShardedObjectiveBatch:
         for ours, theirs in zip(values, reference):
             assert np.array_equal(ours, theirs)
 
+    def test_dense_method_matches_in_process(self, stack):
+        # The in-process dense path computes values only (eigvals_only
+        # eigh); the sharded seed solve must not request Ritz vectors
+        # for it — eigh-with-vectors rounds its eigenvalues differently
+        # at the last ulp, which silently broke shard-vs-serial bit
+        # identity for every profile small enough to resolve to "dense".
+        rows = np.array([
+            [0.25, 0.25, 0.25, 0.25],
+            [0.6, 0.2, 0.1, 0.1],
+            [0.1, 0.2, 0.6, 0.1],
+        ])
+        reference_solver = SolverContext(method="dense", seed=0)
+        reference = [
+            reference_solver.eigenvalues(
+                stack.with_data(row), 4, method="dense", warm=False
+            )
+            for row in stack.combine_many(rows)
+        ]
+        solver = SolverContext(method="dense", seed=0)
+        with _forced(2) as shard:
+            values = shard_objective_batch(
+                stack, rows, 4, "dense", solver, shard
+            )
+        for ours, theirs in zip(values, reference):
+            assert np.array_equal(ours, theirs)
+
     def test_warm_start_disabled_solves_cold(self, stack):
         """warm_start=False must mean cold solves under sharding too —
         bitwise equal to the in-process cold chain, mirroring the batch
@@ -434,6 +460,25 @@ class TestPipelineDeterminism:
             assert np.array_equal(output.labels, reference.labels), (
                 f"labels differ at shard_workers={workers}"
             )
+
+    def test_small_profile_dense_path_bit_identical(self):
+        # rm_small (n = 91) resolves the eigen backend to "dense"; seed 1
+        # historically drifted one ulp under forced dispatch because the
+        # sharded seed solve requested vectors the in-process dense path
+        # never computes.
+        from repro.datasets.profiles import load_profile_mvag
+
+        mvag = load_profile_mvag("rm_small", seed=1)
+        direct = cluster_mvag(mvag, config=SGLAConfig(), seed=1)
+        with _forced(2) as shard:
+            sharded = cluster_mvag(
+                mvag, config=SGLAConfig(), seed=1, shard=shard
+            )
+        assert np.array_equal(direct.labels, sharded.labels)
+        assert (
+            direct.integration.objective_value
+            == sharded.integration.objective_value
+        )
 
     def test_serial_backend_matches_process(self, shard_mvag, sharded_outputs):
         with ShardContext(
