@@ -332,23 +332,57 @@ def _cmd_serve_stats(args) -> int:
         raise ServeError(
             f"cannot reach serve daemon at {args.address}: {error}"
         ) from error
-    print(f"serve: {ServeStats.summary_from_snapshot(health['stats'])}")
-    print(
-        f"queue: {health['queue_depth']}/{health['queue_capacity']} queued, "
-        f"{health['running']} running, "
-        f"{health['inflight_bytes']} bytes in flight"
-        f"{', draining' if health['draining'] else ''}"
-    )
-    shard = health["shard"]
-    if shard["contexts"]:
-        quarantined = shard["quarantined_workers"]
+    if health.get("router"):
+        # A router answers with the aggregated fleet payload: the
+        # serve: line is the fleet-wide per-tenant merge, followed by
+        # ring / per-daemon / routing lines.
+        from repro.serve.router import RouteStats
+
+        print(f"serve: {ServeStats.summary_from_snapshot(health['stats'])}")
+        ring = health["ring"]
         print(
-            f"shard: rung {shard['degradation_rung']} "
-            f"({'/'.join(shard['effective_backends'])}), "
-            f"{shard['degradations']} degradations, "
-            f"{len(quarantined)} quarantined"
-            + (f" ({', '.join(quarantined)})" if quarantined else "")
+            f"ring: {len(ring['nodes'])} daemons, "
+            f"replication {ring['replication']}, "
+            f"{ring['vnodes']} vnodes"
+            f"{', draining' if health['draining'] else ''}"
         )
+        for address, entry in health["daemons"].items():
+            state = "alive" if entry["alive"] else "dead"
+            if entry["draining"]:
+                state = "draining"
+            print(
+                f"daemon {address}: {state}, "
+                f"queue {entry['queue_depth']}/{entry['queue_capacity']}, "
+                f"breaker {entry['breaker']}"
+                + (f" ({entry['error']})" if entry.get("error") else "")
+            )
+        print(
+            f"route: "
+            f"{RouteStats.summary_from_snapshot(health['route_stats'])}"
+        )
+    else:
+        serve_line = ServeStats.summary_from_snapshot(health["stats"])
+        if "cache" in health:
+            from repro.serve.jobs import cache_summary
+
+            serve_line = f"{serve_line}; {cache_summary(health['cache'])}"
+        print(f"serve: {serve_line}")
+        print(
+            f"queue: {health['queue_depth']}/{health['queue_capacity']} "
+            f"queued, {health['running']} running, "
+            f"{health['inflight_bytes']} bytes in flight"
+            f"{', draining' if health['draining'] else ''}"
+        )
+        shard = health["shard"]
+        if shard["contexts"]:
+            quarantined = shard["quarantined_workers"]
+            print(
+                f"shard: rung {shard['degradation_rung']} "
+                f"({'/'.join(shard['effective_backends'])}), "
+                f"{shard['degradations']} degradations, "
+                f"{len(quarantined)} quarantined"
+                + (f" ({', '.join(quarantined)})" if quarantined else "")
+            )
     if args.tenants:
         for name, tenant in health["stats"]["tenants"].items():
             print(

@@ -35,15 +35,35 @@ per-worker :class:`~repro.shard.ShardContext`\\ s.  The robustness core:
 Gate: ``benchmarks/bench_serve.py`` (QPS + latency percentiles under
 concurrent clients, the overload/shedding contract, batching
 bit-identity, and a chaos leg killing shard workers mid-traffic).
+
+On top of single daemons sits the **replicated front tier**
+(DESIGN.md §14): ``python -m repro.serve.router`` places requests on a
+consistent-hash ring (:mod:`repro.serve.ring`) keyed by dataset
+identity so daemon caches stay warm, health-checks every daemon,
+wraps dispatch in per-daemon circuit breakers with deadline-aware
+failover and optional hedged requests
+(:mod:`repro.serve.router`), and :class:`~repro.serve.fleet.
+FleetManager` owns the daemon subprocesses themselves.  Gate:
+``benchmarks/bench_router.py`` (chaos SIGKILL mid-traffic with
+bit-identity, membership-churn remap fraction).
 """
 
 from repro.serve.client import ServeClient
-from repro.serve.config import ServeConfig
+from repro.serve.config import RouterConfig, ServeConfig
 from repro.serve.daemon import ServeDaemon, spawn_daemon
+from repro.serve.fleet import FleetManager, spawn_router
 from repro.serve.queue import AdmissionQueue, RequestEntry, TokenBucket
+from repro.serve.ring import HashRing, remap_fraction, route_key
+from repro.serve.router import (
+    CircuitBreaker,
+    Router,
+    RouterDaemon,
+    RouteStats,
+)
 from repro.serve.stats import ServeStats
 from repro.utils.errors import (
     DeadlineExceeded,
+    NoHealthyReplica,
     ServeError,
     ServerDraining,
     ServerOverloaded,
@@ -52,8 +72,16 @@ from repro.utils.errors import (
 
 __all__ = [
     "AdmissionQueue",
+    "CircuitBreaker",
     "DeadlineExceeded",
+    "FleetManager",
+    "HashRing",
+    "NoHealthyReplica",
     "RequestEntry",
+    "RouteStats",
+    "Router",
+    "RouterConfig",
+    "RouterDaemon",
     "ServeClient",
     "ServeConfig",
     "ServeDaemon",
@@ -63,5 +91,8 @@ __all__ = [
     "ServerOverloaded",
     "TenantQuotaExceeded",
     "TokenBucket",
+    "remap_fraction",
+    "route_key",
     "spawn_daemon",
+    "spawn_router",
 ]

@@ -104,6 +104,9 @@ def main(argv: Optional[list] = None) -> int:
                              "work")
     parser.add_argument("--max-datasets", type=int, default=8,
                         help="LRU capacity of the prepared-dataset cache")
+    parser.add_argument("--max-dataset-mb", type=float, default=256.0,
+                        help="byte budget (MB) of the prepared-dataset "
+                             "cache; LRU entries are evicted past it")
     parser.add_argument("--shard-workers", type=int, default=0,
                         help="per-executor ShardContext worker count "
                              "(0 = serve in-process)")
@@ -142,6 +145,7 @@ def main(argv: Optional[list] = None) -> int:
             default_deadline=args.default_deadline,
             drain_grace=args.drain_grace,
             max_datasets=args.max_datasets,
+            max_dataset_mb=args.max_dataset_mb,
             authkey=authkey,
         )
         daemon = ServeDaemon(config, shard_factory=_shard_factory(args))
@@ -168,7 +172,13 @@ def main(argv: Optional[list] = None) -> int:
 
     shutdown.wait()
     drained = daemon.stop(drain=True)
-    print(f"serve: {daemon.stats.summary()}", file=sys.stderr)
+    from repro.serve.jobs import cache_summary
+
+    print(
+        f"serve: {daemon.stats.summary()}; "
+        f"{cache_summary(daemon.datasets.snapshot())}",
+        file=sys.stderr,
+    )
     if not drained:
         print(
             f"serve: drain grace ({config.drain_grace}s) expired with "

@@ -10,7 +10,7 @@ trace under traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.shard.remote import DEFAULT_AUTHKEY, parse_address
 from repro.utils.errors import ValidationError
@@ -53,8 +53,13 @@ class ServeConfig:
         How long a SIGTERM-triggered drain waits for in-flight work
         before forcing exit.
     max_datasets:
-        LRU capacity of the per-daemon prepared-dataset cache (profile
-        MVAGs and their view Laplacians).
+        Entry-count LRU capacity of the per-daemon prepared-dataset
+        cache (profile MVAGs and their view Laplacians).
+    max_dataset_mb:
+        Byte budget of that cache: summed payload megabytes across both
+        layers.  Inserting past the budget evicts least-recently-used
+        entries until the cache fits (eviction counters surface on the
+        ``serve:`` stats line and in the health payload).
     authkey:
         Shared frame-integrity key of the wire protocol.
     """
@@ -70,6 +75,7 @@ class ServeConfig:
     default_deadline: Optional[float] = None
     drain_grace: float = 30.0
     max_datasets: int = 8
+    max_dataset_mb: float = 256.0
     authkey: bytes = field(default=DEFAULT_AUTHKEY, repr=False)
 
     def __post_init__(self) -> None:
@@ -119,10 +125,176 @@ class ServeConfig:
             raise ValidationError(
                 f"max_datasets must be >= 1, got {self.max_datasets}"
             )
+        if self.max_dataset_mb <= 0:
+            raise ValidationError(
+                f"max_dataset_mb must be positive, "
+                f"got {self.max_dataset_mb}"
+            )
 
     @property
     def max_inflight_bytes(self) -> int:
         return int(self.max_inflight_mb * 1024 * 1024)
 
+    @property
+    def max_dataset_bytes(self) -> int:
+        return int(self.max_dataset_mb * 1024 * 1024)
+
     def weight_for(self, tenant: str) -> float:
         return float((self.tenant_weights or {}).get(tenant, 1.0))
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Knobs of one :class:`~repro.serve.router.Router` front tier.
+
+    Attributes
+    ----------
+    daemons:
+        The fleet's ``host:port`` addresses — the ring's node set.
+    bind:
+        Listen address of the router's own TCP front
+        (:class:`~repro.serve.router.RouterDaemon`); ignored by
+        library-embedded routers.
+    replication:
+        Replica-set size per route key: how many daemons, in ring
+        order, are eligible to serve a key.  ``>= 2`` guarantees a live
+        replica through any single daemon failure.
+    vnodes:
+        Virtual nodes per daemon on the hash ring.
+    health_interval:
+        Seconds between active health probes of each daemon.
+    health_timeout:
+        Per-probe socket timeout; an unanswered probe marks the daemon
+        dead until a later probe succeeds.
+    overload_depth_fraction:
+        A daemon whose probed queue depth is at or above this fraction
+        of its capacity is treated as browned out and deprioritized
+        (routed to only when every better replica is unavailable).
+    breaker_failures:
+        Consecutive dispatch failures that trip a daemon's circuit
+        breaker from CLOSED to OPEN.
+    breaker_cooldown:
+        Seconds an OPEN breaker blocks dispatch before allowing one
+        HALF_OPEN probe request through.
+    hedge_delay:
+        Fixed hedging trigger in seconds: an in-flight dispatch older
+        than this launches a second attempt on the next replica
+        (first response wins, the loser is cancelled via disconnect).
+        ``None`` with no quantile disables hedging.
+    hedge_quantile:
+        Adaptive trigger: hedge when the attempt exceeds this latency
+        quantile of recently completed dispatches (needs
+        ``hedge_min_samples`` observations; falls back to
+        ``hedge_delay`` below that, never faster than ``hedge_floor``).
+    hedge_min_samples:
+        Completed-dispatch observations required before the quantile
+        trigger activates.
+    hedge_floor:
+        Lower bound on any hedging trigger, so a burst of cache-hit
+        latencies cannot make the router hedge every request.
+    pool_size:
+        Idle pooled connections kept per daemon.
+    default_deadline:
+        Deadline applied to forwarded submits that carry none (bounds
+        failover: without any deadline a dead-fleet request would walk
+        replicas with unbounded per-attempt waits).
+    authkey:
+        Shared frame-integrity key (must match the daemons').
+    """
+
+    daemons: Tuple[str, ...] = ()
+    bind: str = "127.0.0.1:0"
+    replication: int = 2
+    vnodes: int = 128
+    health_interval: float = 0.5
+    health_timeout: float = 5.0
+    overload_depth_fraction: float = 0.9
+    breaker_failures: int = 3
+    breaker_cooldown: float = 5.0
+    hedge_delay: Optional[float] = None
+    hedge_quantile: Optional[float] = None
+    hedge_min_samples: int = 20
+    hedge_floor: float = 0.01
+    pool_size: int = 8
+    default_deadline: Optional[float] = None
+    authkey: bytes = field(default=DEFAULT_AUTHKEY, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.daemons:
+            raise ValidationError("a router needs at least one daemon")
+        seen = set()
+        for address in self.daemons:
+            parse_address(address, what="router daemon")
+            if address in seen:
+                raise ValidationError(
+                    f"duplicate daemon address {address!r}"
+                )
+            seen.add(address)
+        parse_address(self.bind, allow_port_zero=True, what="router bind")
+        if self.replication < 1:
+            raise ValidationError(
+                f"replication must be >= 1, got {self.replication}"
+            )
+        if self.vnodes < 1:
+            raise ValidationError(
+                f"vnodes must be >= 1, got {self.vnodes}"
+            )
+        if self.health_interval <= 0:
+            raise ValidationError(
+                f"health_interval must be positive, "
+                f"got {self.health_interval}"
+            )
+        if self.health_timeout <= 0:
+            raise ValidationError(
+                f"health_timeout must be positive, "
+                f"got {self.health_timeout}"
+            )
+        if not 0.0 < self.overload_depth_fraction <= 1.0:
+            raise ValidationError(
+                f"overload_depth_fraction must be in (0, 1], "
+                f"got {self.overload_depth_fraction}"
+            )
+        if self.breaker_failures < 1:
+            raise ValidationError(
+                f"breaker_failures must be >= 1, "
+                f"got {self.breaker_failures}"
+            )
+        if self.breaker_cooldown < 0:
+            raise ValidationError(
+                f"breaker_cooldown must be >= 0, "
+                f"got {self.breaker_cooldown}"
+            )
+        if self.hedge_delay is not None and self.hedge_delay <= 0:
+            raise ValidationError(
+                f"hedge_delay must be positive seconds, "
+                f"got {self.hedge_delay}"
+            )
+        if self.hedge_quantile is not None and not (
+            0.0 < self.hedge_quantile < 1.0
+        ):
+            raise ValidationError(
+                f"hedge_quantile must be in (0, 1), "
+                f"got {self.hedge_quantile}"
+            )
+        if self.hedge_min_samples < 1:
+            raise ValidationError(
+                f"hedge_min_samples must be >= 1, "
+                f"got {self.hedge_min_samples}"
+            )
+        if self.hedge_floor < 0:
+            raise ValidationError(
+                f"hedge_floor must be >= 0, got {self.hedge_floor}"
+            )
+        if self.pool_size < 1:
+            raise ValidationError(
+                f"pool_size must be >= 1, got {self.pool_size}"
+            )
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ValidationError(
+                f"default_deadline must be positive seconds, "
+                f"got {self.default_deadline}"
+            )
+
+    @property
+    def hedging_enabled(self) -> bool:
+        return self.hedge_delay is not None or self.hedge_quantile is not None

@@ -102,7 +102,10 @@ class ServeDaemon:
             tenant_rate=self.config.tenant_rate,
             tenant_burst=self.config.tenant_burst,
         )
-        self.datasets = DatasetCache(self.config.max_datasets)
+        self.datasets = DatasetCache(
+            self.config.max_datasets,
+            max_bytes=self.config.max_dataset_bytes,
+        )
         #: test hook: clear to hold executor threads before their next
         #: take() — lets tests stack compatible requests into one batch
         #: or fill the queue deterministically; set to release.  Use
@@ -239,6 +242,7 @@ class ServeDaemon:
                 "degradations": degradations,
                 "workers_quarantined": workers_quarantined,
             },
+            "cache": self.datasets.snapshot(),
             "stats": self.stats.snapshot(),
         }
 

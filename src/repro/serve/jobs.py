@@ -23,10 +23,14 @@ direct in-process caller does — the same bit-identity argument applies.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro.analysis.memory import MemoryTracker
 from repro.core.objective import SpectralObjective
 from repro.core.pipeline import cluster_mvag, embed_mvag
 from repro.core.sgla import SGLAConfig, prepare_laplacians
@@ -75,40 +79,140 @@ def batch_key(job: Dict[str, Any]) -> Optional[Tuple]:
     )
 
 
-class DatasetCache:
-    """LRU cache of prepared profile datasets shared by all workers.
+def payload_nbytes(obj, _seen: Optional[set] = None) -> int:
+    """Accounted in-memory payload bytes of a cached dataset object.
 
-    Two layers, both bounded by ``capacity`` entries: generated MVAGs
+    Walks arrays (``.nbytes``), scipy sparse matrices (CSR/CSC buffer
+    triples, COO coordinate pairs), containers, and plain attribute
+    objects (the MVAG dataclasses).  Python object overhead is ignored
+    — the numeric buffers dominate a prepared dataset by orders of
+    magnitude, and an under-by-a-few-KB estimate errs on the side of
+    caching slightly less, never more.
+    """
+    if _seen is None:
+        _seen = set()
+    if id(obj) in _seen:
+        return 0
+    _seen.add(id(obj))
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if hasattr(obj, "indptr"):  # CSR / CSC
+        return payload_nbytes(
+            (obj.data, obj.indices, obj.indptr), _seen
+        )
+    if hasattr(obj, "row") and hasattr(obj, "col"):  # COO
+        return payload_nbytes((obj.data, obj.row, obj.col), _seen)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(value, _seen) for value in obj.values())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(payload_nbytes(item, _seen) for item in obj)
+    if hasattr(obj, "__dict__"):
+        return payload_nbytes(vars(obj), _seen)
+    return 0
+
+
+class DatasetCache:
+    """Byte-budgeted LRU cache of prepared datasets, shared by workers.
+
+    Two layers, each bounded by ``capacity`` entries: generated MVAGs
     keyed by ``(profile, seed)`` and prepared view-Laplacian lists keyed
     by ``(profile, seed, k, config overrides)``.  Preparation runs under
     the lock — concurrent first requests for the same profile build it
     once, not ``workers`` times.
+
+    On top of the entry caps sits a **byte budget** (``max_bytes``)
+    shared across both layers: every entry's payload is accounted via
+    :func:`payload_nbytes` at insertion, and inserting past the budget
+    evicts globally-least-recently-used entries (from whichever layer
+    holds them) until the cache fits.  The budget is enforced on these
+    accounted sizes rather than on RSS because ``ru_maxrss`` is a
+    process-lifetime high-water mark that eviction cannot lower; the
+    attached :class:`~repro.analysis.memory.MemoryTracker` samples that
+    RSS peak for the health snapshot so operators see both numbers.
+    Hit / miss / eviction counters surface on the ``serve:`` stats line.
     """
 
-    def __init__(self, capacity: int = 8) -> None:
+    def __init__(
+        self, capacity: int = 8, max_bytes: Optional[int] = None
+    ) -> None:
         self.capacity = int(capacity)
+        self.max_bytes = int(max_bytes) if max_bytes is not None else None
         self._lock = threading.Lock()
-        self._mvags: "OrderedDict[Tuple, Any]" = OrderedDict()
-        self._laplacians: "OrderedDict[Tuple, Tuple[List, int]]" = (
+        #: key -> (value, accounted nbytes, LRU stamp), oldest first.
+        self._mvags: "OrderedDict[Tuple, Tuple[Any, int, int]]" = (
             OrderedDict()
         )
+        self._laplacians: "OrderedDict[Tuple, Tuple[Any, int, int]]" = (
+            OrderedDict()
+        )
+        self._clock = itertools.count()
+        self._memory = MemoryTracker(label="dataset-cache")
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.current_bytes = 0
 
     def _get(self, store: OrderedDict, key: Tuple):
-        value = store.get(key)
-        if value is not None:
+        entry = store.get(key)
+        if entry is not None:
+            store[key] = (entry[0], entry[1], next(self._clock))
             store.move_to_end(key)
             self.hits += 1
-        else:
-            self.misses += 1
-        return value
+            return entry[0]
+        self.misses += 1
+        return None
+
+    def _evict(self, store: OrderedDict) -> None:
+        _, (_, nbytes, _) = store.popitem(last=False)
+        self.current_bytes -= nbytes
+        self.evictions += 1
+
+    def _oldest(self, store: OrderedDict, protect: Tuple):
+        """(stamp, key) of the store's LRU entry, skipping ``protect``."""
+        for key, (_, _, stamp) in store.items():
+            if key != protect:
+                return (stamp, key)
+        return None
 
     def _put(self, store: OrderedDict, key: Tuple, value) -> None:
-        store[key] = value
+        nbytes = payload_nbytes(value)
+        old = store.get(key)
+        if old is not None:
+            self.current_bytes -= old[1]
+        store[key] = (value, nbytes, next(self._clock))
         store.move_to_end(key)
+        self.current_bytes += nbytes
         while len(store) > self.capacity:
-            store.popitem(last=False)
+            self._evict(store)
+        # Byte budget: evict the globally least-recently-used entry of
+        # either layer until the cache fits, never the one just
+        # inserted (the request being served needs it live; a single
+        # over-budget dataset caches alone rather than failing).
+        while (
+            self.max_bytes is not None
+            and self.current_bytes > self.max_bytes
+        ):
+            candidates = [
+                found
+                for other in (self._mvags, self._laplacians)
+                for found in [self._oldest(
+                    other, key if other is store else None
+                )]
+                if found is not None
+            ]
+            if not candidates:
+                break
+            _, victim = min(candidates)
+            for other in (self._mvags, self._laplacians):
+                if victim in other and not (
+                    other is store and victim == key
+                ):
+                    _, nbytes_out, _ = other.pop(victim)
+                    self.current_bytes -= nbytes_out
+                    self.evictions += 1
+                    break
 
     def mvag(self, profile: str, seed=0):
         key = (profile, seed)
@@ -140,6 +244,31 @@ class DatasetCache:
             prepared = prepare_laplacians(mvag, k, config)
             self._put(self._laplacians, key, prepared)
             return prepared
+
+    def snapshot(self) -> dict:
+        """Cache counters for the health payload / ``serve:`` line."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._mvags) + len(self._laplacians),
+                "bytes": self.current_bytes,
+                "max_bytes": self.max_bytes,
+                "peak_rss_mb": self._memory.check(),
+            }
+
+
+def cache_summary(snap: Dict[str, Any]) -> str:
+    """Render a cache snapshot for the ``serve:`` stats line."""
+    budget = ""
+    if snap.get("max_bytes"):
+        budget = f" of {snap['max_bytes'] / 1048576.0:.1f}MB"
+    return (
+        f"cache {snap['hits']} hits / {snap['misses']} misses / "
+        f"{snap['evictions']} evictions, {snap['entries']} entries "
+        f"({snap['bytes'] / 1048576.0:.1f}MB{budget})"
+    )
 
 
 def _require(job: Dict[str, Any], field: str):

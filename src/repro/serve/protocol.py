@@ -29,6 +29,7 @@ from typing import Any, Dict
 
 from repro.utils.errors import (
     DeadlineExceeded,
+    NoHealthyReplica,
     ReproError,
     ServeError,
     ServerDraining,
@@ -50,6 +51,7 @@ KIND_TO_ERROR = {
     "quota": TenantQuotaExceeded,
     "draining": ServerDraining,
     "deadline": DeadlineExceeded,
+    "no-replica": NoHealthyReplica,
     "serve": ServeError,
     "validation": ValidationError,
     "shard": ShardError,

@@ -120,6 +120,43 @@ class ServeStats:
         return self.summary_from_snapshot(self.snapshot())
 
     @staticmethod
+    def merge_snapshots(snaps: Sequence[dict]) -> dict:
+        """Fold several daemons' wire snapshots into one fleet picture.
+
+        Counters sum; percentile keys take the fleet-wide maximum (a
+        sum of percentiles means nothing, and the max is the honest
+        tail bound an operator cares about).  The result has the same
+        shape as :meth:`snapshot`, so :meth:`summary_from_snapshot`
+        renders it unchanged — this is what backs the router's
+        aggregated ``serve-stats`` view.
+        """
+        percentile_keys = ("queue_wait_p50_ms", "queue_wait_p99_ms")
+        totals = {name: 0 for name in _COUNTERS}
+        totals.update({name: 0.0 for name in percentile_keys})
+        tenants: Dict[str, dict] = {}
+        for snap in snaps:
+            snap_totals = snap.get("totals", {})
+            for name in _COUNTERS:
+                totals[name] += int(snap_totals.get(name, 0))
+            for name in percentile_keys:
+                totals[name] = max(
+                    totals[name], float(snap_totals.get(name, 0.0))
+                )
+            for tenant, payload in snap.get("tenants", {}).items():
+                merged = tenants.setdefault(
+                    tenant,
+                    {name: 0 for name in _COUNTERS}
+                    | {name: 0.0 for name in percentile_keys},
+                )
+                for name in _COUNTERS:
+                    merged[name] += int(payload.get(name, 0))
+                for name in percentile_keys:
+                    merged[name] = max(
+                        merged[name], float(payload.get(name, 0.0))
+                    )
+        return {"totals": totals, "tenants": dict(sorted(tenants.items()))}
+
+    @staticmethod
     def summary_from_snapshot(snap: dict) -> str:
         """Render the ``serve:`` line from a health-endpoint snapshot.
 

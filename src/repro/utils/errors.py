@@ -141,6 +141,15 @@ class DeadlineExceeded(ServeError):
     kind = "deadline"
 
 
+class NoHealthyReplica(ServeError):
+    """The routing front tier could not place a request: every replica
+    of its key is dead, draining, breaker-open, or failed the dispatch
+    within the deadline.  Carries the per-replica outcomes in
+    ``fields`` so the failure is attributable, never silent."""
+
+    kind = "no-replica"
+
+
 class ShardDegradation(UserWarning):
     """A shard dispatch exhausted a backend and fell down the resilience
     ladder (``remote -> process -> serial``).  Results are still correct

@@ -1,0 +1,143 @@
+"""Unit tests of the consistent-hash ring (DESIGN.md §14).
+
+The load-bearing properties: deterministic placement shared by every
+router without coordination, bounded remapping on membership changes
+(the cache-warmth argument), distinct replica sets, and reasonable
+balance across nodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.ring import (
+    DEFAULT_VNODES,
+    HashRing,
+    hash64,
+    remap_fraction,
+    route_key,
+)
+from repro.utils.errors import ValidationError
+
+NODES = [f"10.0.0.{i}:7000" for i in range(1, 6)]
+KEYS = [f"profile_{i}@{i % 7}" for i in range(2000)]
+
+
+class TestPlacement:
+    def test_lookup_is_deterministic(self):
+        a = HashRing(NODES)
+        b = HashRing(list(reversed(NODES)))  # insertion order irrelevant
+        for key in KEYS[:200]:
+            assert a.lookup(key, 3) == b.lookup(key, 3)
+
+    def test_replicas_are_distinct_nodes(self):
+        ring = HashRing(NODES)
+        for key in KEYS[:500]:
+            replicas = ring.lookup(key, 3)
+            assert len(replicas) == len(set(replicas)) == 3
+
+    def test_count_above_node_count_returns_all(self):
+        ring = HashRing(NODES[:2])
+        assert sorted(ring.lookup("k", 5)) == sorted(NODES[:2])
+
+    def test_preference_orders_every_node(self):
+        ring = HashRing(NODES)
+        order = ring.preference("some-key")
+        assert sorted(order) == sorted(NODES)
+
+    def test_balance_within_factor_of_mean(self):
+        ring = HashRing(NODES)
+        counts = {node: 0 for node in NODES}
+        for key in KEYS:
+            counts[ring.lookup(key)[0]] += 1
+        mean = len(KEYS) / len(NODES)
+        for node, count in counts.items():
+            assert 0.5 * mean <= count <= 1.6 * mean, (node, count)
+
+    def test_hash64_is_stable(self):
+        assert hash64("abc") == hash64("abc")
+        assert hash64("abc") != hash64("abd")
+
+
+class TestMembership:
+    def test_remove_remaps_bounded_fraction(self):
+        # The churn gate: removing 1 of N remaps ~1/N of keys (<= 1.5/N).
+        for n in (3, 4, 5):
+            nodes = NODES[:n]
+            before = HashRing(nodes)
+            after = HashRing(nodes[:-1])
+            frac = remap_fraction(before, after, KEYS)
+            assert frac <= 1.5 / n, (n, frac)
+            assert frac > 0  # the removed node's keys did move
+
+    def test_survivors_keep_their_keys(self):
+        before = HashRing(NODES)
+        after = HashRing(NODES[:-1])
+        removed = NODES[-1]
+        for key in KEYS[:500]:
+            old = before.lookup(key)[0]
+            if old != removed:
+                assert after.lookup(key)[0] == old
+
+    def test_single_failure_leaves_live_replica(self):
+        # replication >= 2: any one dead node leaves every key a replica.
+        ring = HashRing(NODES)
+        for dead in NODES:
+            for key in KEYS[:200]:
+                replicas = ring.lookup(key, 2)
+                assert any(node != dead for node in replicas)
+
+    def test_add_then_remove_restores_placement(self):
+        ring = HashRing(NODES)
+        baseline = [ring.lookup(key)[0] for key in KEYS[:300]]
+        ring.add("10.0.0.99:7000")
+        ring.remove("10.0.0.99:7000")
+        assert [ring.lookup(key)[0] for key in KEYS[:300]] == baseline
+
+    def test_membership_protocol(self):
+        ring = HashRing(NODES[:2])
+        assert len(ring) == 2
+        assert NODES[0] in ring and NODES[3] not in ring
+        assert ring.nodes == sorted(NODES[:2])
+
+
+class TestValidation:
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ValidationError):
+            HashRing([NODES[0], NODES[0]])
+
+    def test_empty_ring_lookup_rejected(self):
+        with pytest.raises(ValidationError):
+            HashRing([]).lookup("k")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            HashRing(NODES[:2]).remove("nope:1")
+
+    def test_bad_vnodes_rejected(self):
+        with pytest.raises(ValidationError):
+            HashRing(NODES[:2], vnodes=0)
+
+    def test_bad_node_rejected(self):
+        with pytest.raises(ValidationError):
+            HashRing([""])
+        with pytest.raises(ValidationError):
+            HashRing([42])  # type: ignore[list-item]
+
+    def test_bad_lookup_count_rejected(self):
+        with pytest.raises(ValidationError):
+            HashRing(NODES[:2]).lookup("k", 0)
+
+    def test_default_vnodes(self):
+        assert HashRing(NODES[:1]).vnodes == DEFAULT_VNODES
+
+
+class TestRouteKey:
+    def test_route_key_matches_dataset_cache_identity(self):
+        assert route_key({"profile": "rm_small", "seed": 3}) == "rm_small@3"
+        assert route_key({"profile": "rm_small"}) == "rm_small@0"
+
+    def test_jobs_differing_only_in_params_share_a_key(self):
+        a = {"kind": "objective", "profile": "p", "seed": 1, "k": 2}
+        b = {"kind": "cluster", "profile": "p", "seed": 1, "k": 5}
+        assert route_key(a) == route_key(b)

@@ -1,0 +1,469 @@
+"""Integration tests of the routing front tier (DESIGN.md §14).
+
+Live in-process daemons behind a :class:`~repro.serve.router.Router`:
+cache-affine placement, health-checked failover with bit-identical
+results, circuit-breaker transitions, hedged requests with loser
+cancellation, error-class propagation (quota / validation pass through,
+infrastructure fails over), the ``NoHealthyReplica`` loud-failure
+contract, and the :class:`RouterDaemon` TCP front speaking the
+unmodified client protocol.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    NoHealthyReplica,
+    RouteStats,
+    Router,
+    RouterConfig,
+    RouterDaemon,
+    ServeClient,
+    ServeConfig,
+    ServeDaemon,
+    ServerDraining,
+)
+from repro.serve.ring import HashRing, route_key
+from repro.serve.router import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.utils.errors import ValidationError
+
+PROFILE = "rm_small"
+R = 11
+
+JOB = {
+    "kind": "objective", "profile": PROFILE, "k": 2,
+    "weights": np.full(R, 1.0 / R),
+}
+
+
+def make_job():
+    return {**JOB, "weights": JOB["weights"].copy()}
+
+
+def wait_for(predicate, timeout=10.0, interval=0.01) -> bool:
+    limit = time.monotonic() + timeout
+    while time.monotonic() < limit:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture()
+def fleet():
+    daemons = []
+    for _ in range(3):
+        daemon = ServeDaemon(ServeConfig(bind="127.0.0.1:0", workers=1))
+        daemon.start()
+        daemons.append(daemon)
+    yield daemons
+    for daemon in daemons:
+        daemon.stop(drain=False)
+
+
+def router_config(fleet, **overrides) -> RouterConfig:
+    defaults = dict(
+        daemons=tuple(d.address for d in fleet),
+        replication=2,
+        health_interval=0.2,
+        breaker_failures=2,
+        breaker_cooldown=0.5,
+    )
+    defaults.update(overrides)
+    return RouterConfig(**defaults)
+
+
+# ---------------------------------------------------------------------- #
+# Placement + determinism
+# ---------------------------------------------------------------------- #
+
+class TestRouting:
+    def test_same_key_routes_to_same_daemon(self, fleet):
+        with Router(router_config(fleet)) as router:
+            first = router.submit(make_job())
+            for _ in range(3):
+                again = router.submit(make_job())
+                assert again["routed_to"] == first["routed_to"]
+                assert again["result"]["value"] == first["result"]["value"]
+
+    def test_placement_matches_ring(self, fleet):
+        with Router(router_config(fleet)) as router:
+            reply = router.submit(make_job())
+            ring = HashRing(
+                [d.address for d in fleet], vnodes=router.config.vnodes
+            )
+            assert reply["routed_to"] == ring.lookup(route_key(JOB))[0]
+
+    def test_cache_locality_one_daemon_warms(self, fleet):
+        with Router(router_config(fleet)) as router:
+            for _ in range(3):
+                router.submit(make_job())
+        warmed = [d for d in fleet if d.datasets.snapshot()["entries"]]
+        assert len(warmed) == 1  # replication routes reads to the primary
+
+    def test_failover_result_bit_identical(self, fleet):
+        with Router(router_config(fleet)) as router:
+            first = router.submit(make_job())
+            victim = next(
+                d for d in fleet if d.address == first["routed_to"]
+            )
+            victim.stop(drain=False)
+            # health marks it dead; routing then skips it outright
+            assert wait_for(
+                lambda: not router.health[victim.address].alive
+            )
+            after = router.submit(make_job())
+            assert after["routed_to"] != victim.address
+            assert after["result"]["value"] == first["result"]["value"]
+            assert np.array_equal(
+                after["result"]["eigenvalues"],
+                first["result"]["eigenvalues"],
+            )
+            assert router.stats.snapshot()["skipped_unhealthy"] >= 1
+
+    def test_draining_daemon_leaves_rotation(self, fleet):
+        with Router(router_config(fleet)) as router:
+            first = router.submit(make_job())
+            primary = next(
+                d for d in fleet if d.address == first["routed_to"]
+            )
+            primary.drain()
+            assert wait_for(
+                lambda: router.health[primary.address].draining
+            )
+            after = router.submit(make_job())
+            assert after["routed_to"] != primary.address
+            assert after["failovers"] == 0  # skipped, not failed over
+
+    def test_validation_error_propagates_without_failover(self, fleet):
+        with Router(router_config(fleet)) as router:
+            with pytest.raises(ValidationError):
+                router.submit({
+                    "kind": "objective", "profile": PROFILE, "k": 2,
+                    "weights": np.full(R, 1.0 / R),
+                    "config": {"bogus_knob": 1},
+                })
+            assert router.stats.snapshot()["failovers"] == 0
+
+    def test_router_drain_refuses_submits(self, fleet):
+        with Router(router_config(fleet)) as router:
+            router.drain()
+            with pytest.raises(ServerDraining):
+                router.submit(make_job())
+
+    def test_no_healthy_replica_is_loud(self, fleet):
+        # health checks effectively off: dispatch discovers the deaths
+        with Router(router_config(fleet, health_interval=30.0)) as router:
+            for daemon in fleet:
+                daemon.stop(drain=False)
+            with pytest.raises(NoHealthyReplica) as excinfo:
+                router.submit(make_job())
+            # attributable: the error names every replica and its fate
+            assert "unreachable" in str(excinfo.value)
+            # discovery marked them dead: the retry skips them outright
+            with pytest.raises(NoHealthyReplica) as excinfo:
+                router.submit(make_job())
+            assert "dead" in str(excinfo.value)
+            assert router.stats.snapshot()["no_replica"] == 2
+
+
+# ---------------------------------------------------------------------- #
+# Hedging
+# ---------------------------------------------------------------------- #
+
+class TestHedging:
+    def test_hedge_wins_and_loser_is_cancelled(self, fleet):
+        addrs = [d.address for d in fleet]
+        ring = HashRing(addrs)
+        primary_addr, secondary_addr = ring.lookup(route_key(JOB), 2)
+        primary = fleet[addrs.index(primary_addr)]
+        config = router_config(
+            fleet, hedge_delay=0.25, health_interval=30.0
+        )
+        with Router(config) as router:
+            warm = router.submit(make_job())  # both caches stay cold-safe
+            assert warm["routed_to"] == primary_addr
+            assert primary.hold_workers()
+            reply = router.submit(make_job())
+            assert reply["hedged"] is True
+            assert reply["routed_to"] == secondary_addr
+            assert reply["result"]["value"] == warm["result"]["value"]
+            snap = router.stats.snapshot()
+            assert snap["hedges_launched"] == 1
+            assert snap["hedges_won"] == 1
+            assert snap["hedges_cancelled"] == 1
+            # self-inflicted cancellation must not mark the primary dead
+            assert router.health[primary_addr].alive is True
+            # the daemon reclaims the abandoned queued entry
+            assert wait_for(
+                lambda: primary.stats.total("cancelled") >= 1
+            )
+            primary.worker_gate.set()
+
+    def test_no_hedge_under_trigger(self, fleet):
+        config = router_config(fleet, hedge_delay=30.0)
+        with Router(config) as router:
+            reply = router.submit(make_job())
+            assert reply["hedged"] is False
+            assert router.stats.snapshot()["hedges_launched"] == 0
+
+    def test_quantile_trigger_needs_samples(self, fleet):
+        config = router_config(
+            fleet, hedge_quantile=0.95, hedge_min_samples=5
+        )
+        with Router(config) as router:
+            assert router._hedge_trigger() is None  # no samples yet
+            for _ in range(5):
+                router.stats.observe_latency(0.02)
+            trigger = router._hedge_trigger()
+            assert trigger is not None
+            assert trigger >= config.hedge_floor
+
+
+# ---------------------------------------------------------------------- #
+# Circuit breaker
+# ---------------------------------------------------------------------- #
+
+class TestCircuitBreaker:
+    def test_transitions(self):
+        stats = RouteStats()
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failures=2, cooldown=1.0, stats=stats, clock=lambda: clock[0]
+        )
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # one short of the threshold
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()  # cooldown not elapsed
+        clock[0] = 1.5
+        assert breaker.would_allow()
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()  # single probe slot
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        snap = stats.snapshot()
+        assert snap["breaker_opens"] == 1
+        assert snap["breaker_probes"] == 1
+        assert snap["breaker_closes"] == 1
+        assert snap["breaker_rejections"] == 2
+
+    def test_half_open_failure_reopens(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failures=1, cooldown=1.0, clock=lambda: clock[0]
+        )
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock[0] = 1.5
+        assert breaker.allow()  # the half-open probe
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()  # cooldown restarted
+        clock[0] = 3.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failures=2, cooldown=1.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # failures were not consecutive
+
+    def test_dispatch_failures_feed_the_breaker(self, fleet):
+        config = router_config(
+            fleet, health_interval=30.0, breaker_failures=1,
+            breaker_cooldown=30.0,
+        )
+        with Router(config) as router:
+            first = router.submit(make_job())
+            victim_addr = first["routed_to"]
+            victim = next(d for d in fleet if d.address == victim_addr)
+            victim.stop(drain=False)
+            # drop the warm pooled socket: in-process stop() leaves it
+            # ESTABLISHED (a real crash would RST it), and dispatch over
+            # it would block in recv.  With the pool empty, the closed
+            # listener refuses new connections fast.
+            router._endpoints[victim_addr].close_all()
+            reply = router.submit(make_job())
+            assert reply["failovers"] == 1
+            assert reply["result"]["value"] == first["result"]["value"]
+            assert router.breakers[victim_addr].state == OPEN
+            assert router.stats.snapshot()["breaker_opens"] == 1
+
+    def test_open_breaker_removes_replica_from_rotation(self, fleet):
+        config = router_config(
+            fleet, health_interval=30.0, breaker_failures=1,
+            breaker_cooldown=30.0,
+        )
+        with Router(config) as router:
+            first = router.submit(make_job())
+            primary = first["routed_to"]
+            router.breakers[primary].record_failure()
+            assert router.breakers[primary].state == OPEN
+            reply = router.submit(make_job())
+            assert reply["routed_to"] != primary
+            assert reply["failovers"] == 0  # skipped without an attempt
+            assert reply["result"]["value"] == first["result"]["value"]
+            assert router.stats.snapshot()["skipped_unhealthy"] >= 1
+
+
+# ---------------------------------------------------------------------- #
+# RouteStats
+# ---------------------------------------------------------------------- #
+
+class TestRouteStats:
+    def test_merge_sums_counters_and_daemons(self):
+        a, b = RouteStats(), RouteStats()
+        a.bump("requests", 2)
+        a.bump_daemon("x:1", "routed", 2)
+        b.bump("requests", 3)
+        b.bump("failovers")
+        b.bump_daemon("x:1", "routed")
+        b.bump_daemon("y:1", "completed", 4)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["requests"] == 5
+        assert snap["failovers"] == 1
+        assert snap["daemons"]["x:1"]["routed"] == 3
+        assert snap["daemons"]["y:1"]["completed"] == 4
+
+    def test_self_merge_doubles(self):
+        stats = RouteStats()
+        stats.bump("requests", 2)
+        stats.bump_daemon("x:1", "routed")
+        stats.merge(stats)
+        snap = stats.snapshot()
+        assert snap["requests"] == 4
+        assert snap["daemons"]["x:1"]["routed"] == 2
+
+    def test_iadd_and_summary(self):
+        a, b = RouteStats(), RouteStats()
+        b.bump("requests")
+        a += b
+        assert "1 requests" in a.summary()
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError):
+            RouteStats().bump("nope")
+        with pytest.raises(KeyError):
+            RouteStats().bump_daemon("x:1", "nope")
+
+    def test_latency_quantile(self):
+        stats = RouteStats()
+        for ms in range(1, 101):
+            stats.observe_latency(ms / 1000.0)
+        value, count = stats.latency_quantile(0.95)
+        assert count == 100
+        assert 0.090 <= value <= 0.100
+
+
+# ---------------------------------------------------------------------- #
+# RouterDaemon TCP front
+# ---------------------------------------------------------------------- #
+
+class TestRouterDaemon:
+    def test_unmodified_client_speaks_to_router(self, fleet):
+        with RouterDaemon(router_config(fleet)) as front:
+            with ServeClient(front.address) as client:
+                assert client.ping()
+                reply = client.submit(make_job())
+                assert reply["result"]["value"] == pytest.approx(
+                    reply["result"]["value"]
+                )
+                assert reply["routed_to"] in [d.address for d in fleet]
+
+    def test_health_aggregates_fleet(self, fleet):
+        with RouterDaemon(router_config(fleet)) as front:
+            with ServeClient(front.address) as client:
+                client.submit(make_job())
+                health = client.health()
+                assert health["router"] is True
+                assert set(health["daemons"]) == {
+                    d.address for d in fleet
+                }
+                assert len(health["ring"]["nodes"]) == 3
+                assert health["route_stats"]["requests"] >= 1
+                # fleet ServeStats ride on health probes: wait one cycle
+                assert wait_for(
+                    lambda: client.health()["stats"]["totals"][
+                        "completed"
+                    ] >= 1
+                )
+
+    def test_drain_via_wire(self, fleet):
+        with RouterDaemon(router_config(fleet)) as front:
+            with ServeClient(front.address) as client:
+                client.drain()
+                with pytest.raises(ServerDraining):
+                    client.submit(make_job())
+
+    def test_concurrent_clients_route_consistently(self, fleet):
+        with RouterDaemon(router_config(fleet)) as front:
+            results, errors = [], []
+
+            def worker(seed):
+                try:
+                    with ServeClient(front.address) as client:
+                        reply = client.submit(make_job())
+                        results.append(reply)
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors
+            assert len(results) == 6
+            assert len({r["routed_to"] for r in results}) == 1
+            values = {r["result"]["value"] for r in results}
+            assert len(values) == 1  # bit-identical across clients
+
+
+class TestConfigValidation:
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValidationError):
+            RouterConfig(daemons=())
+
+    def test_duplicate_daemon_rejected(self):
+        with pytest.raises(ValidationError):
+            RouterConfig(daemons=("a:1", "a:1"))
+
+    def test_bad_ranges_rejected(self):
+        good = ("127.0.0.1:7000",)
+        for bad in (
+            dict(replication=0),
+            dict(vnodes=0),
+            dict(health_interval=0),
+            dict(overload_depth_fraction=1.5),
+            dict(breaker_failures=0),
+            dict(hedge_delay=-1.0),
+            dict(hedge_quantile=1.0),
+            dict(pool_size=0),
+            dict(default_deadline=0),
+        ):
+            with pytest.raises(ValidationError):
+                RouterConfig(daemons=good, **bad)
+
+    def test_hedging_enabled_property(self):
+        good = ("127.0.0.1:7000",)
+        assert not RouterConfig(daemons=good).hedging_enabled
+        assert RouterConfig(daemons=good, hedge_delay=0.1).hedging_enabled
+        assert RouterConfig(
+            daemons=good, hedge_quantile=0.9
+        ).hedging_enabled

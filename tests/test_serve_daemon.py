@@ -34,6 +34,10 @@ from repro.serve import (
     TenantQuotaExceeded,
 )
 from repro.serve.daemon import spawn_daemon
+from repro.serve.fleet import FleetManager
+from repro.serve.jobs import DatasetCache, cache_summary, payload_nbytes
+from repro.serve.ring import HashRing, route_key
+from repro.serve.router import Router, RouterConfig
 from repro.shard.remote import send_frame
 from repro.solvers import SolverContext
 from repro.utils.errors import ValidationError
@@ -422,3 +426,164 @@ class TestServeStatsCLI:
         assert result.returncode == 2
         assert result.stderr.startswith("error:")
         assert "Traceback" not in result.stderr
+
+
+# ---------------------------------------------------------------------- #
+# Dataset cache: byte-budgeted LRU (DESIGN.md §14)
+# ---------------------------------------------------------------------- #
+
+class TestDatasetCacheBudget:
+    def test_payload_nbytes_walks_arrays_and_sparse(self):
+        dense = np.zeros((100, 100))
+        other = np.ones((50, 50))
+        assert payload_nbytes(dense) == dense.nbytes
+        assert payload_nbytes([dense, other]) == (
+            dense.nbytes + other.nbytes
+        )
+        # the same object reached twice is accounted once, not twice
+        assert payload_nbytes([dense, dense]) == dense.nbytes
+        assert payload_nbytes({"a": dense}) == dense.nbytes
+        assert payload_nbytes(b"12345") == 5
+        assert payload_nbytes("not counted") == 0
+        import scipy.sparse as sp
+
+        csr = sp.random(50, 50, density=0.1, format="csr")
+        expected = csr.data.nbytes + csr.indices.nbytes + csr.indptr.nbytes
+        assert payload_nbytes(csr) == expected
+        # cycles terminate
+        loop = {"self": None}
+        loop["self"] = loop
+        assert payload_nbytes(loop) == 0
+
+    def test_byte_budget_evicts_lru(self):
+        probe = DatasetCache(capacity=8)
+        probe.mvag(PROFILE, seed=0)
+        one_dataset = probe.snapshot()["bytes"]
+        assert one_dataset > 0
+        cache = DatasetCache(capacity=8, max_bytes=int(one_dataset * 1.5))
+        cache.mvag(PROFILE, seed=0)
+        cache.mvag(PROFILE, seed=1)  # over budget: seed 0 evicted
+        snap = cache.snapshot()
+        assert snap["evictions"] == 1
+        assert snap["entries"] == 1
+        assert snap["bytes"] <= snap["max_bytes"]
+        cache.mvag(PROFILE, seed=1)  # survivor still resident
+        assert cache.snapshot()["hits"] == 1
+
+    def test_single_over_budget_entry_caches_alone(self):
+        cache = DatasetCache(capacity=8, max_bytes=1)
+        cache.mvag(PROFILE, seed=0)  # never evicts the entry being served
+        snap = cache.snapshot()
+        assert snap["entries"] == 1
+        assert snap["evictions"] == 0
+        cache.mvag(PROFILE, seed=1)  # next insert displaces it
+        snap = cache.snapshot()
+        assert snap["entries"] == 1
+        assert snap["evictions"] == 1
+
+    def test_entry_cap_still_applies(self):
+        cache = DatasetCache(capacity=1)
+        cache.mvag(PROFILE, seed=0)
+        cache.mvag(PROFILE, seed=1)
+        snap = cache.snapshot()
+        assert snap["entries"] == 1
+        assert snap["evictions"] == 1
+
+    def test_hit_restamps_recency(self):
+        probe = DatasetCache(capacity=8)
+        probe.mvag(PROFILE, seed=0)
+        one_dataset = probe.snapshot()["bytes"]
+        cache = DatasetCache(capacity=8, max_bytes=int(one_dataset * 2.5))
+        cache.mvag(PROFILE, seed=0)
+        cache.mvag(PROFILE, seed=1)
+        cache.mvag(PROFILE, seed=0)  # refresh: seed 1 is now the LRU
+        cache.mvag(PROFILE, seed=2)  # evicts seed 1, not seed 0
+        assert cache.snapshot()["evictions"] == 1
+        hits_before = cache.snapshot()["hits"]
+        cache.mvag(PROFILE, seed=0)
+        assert cache.snapshot()["hits"] == hits_before + 1
+
+    def test_health_and_cli_surface_cache_counters(self, daemon):
+        with ServeClient(daemon.address) as client:
+            for _ in range(2):
+                client.submit({
+                    "kind": "objective", "profile": PROFILE,
+                    "weights": simplex_weights(0),
+                })
+            cache = client.health()["cache"]
+        assert cache["misses"] >= 1
+        assert cache["hits"] >= 1
+        assert cache["entries"] >= 1
+        assert cache["bytes"] > 0
+        assert "cache" in cache_summary(cache)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "serve-stats",
+             daemon.address],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "cache" in result.stdout
+        assert "evictions" in result.stdout
+
+
+# ---------------------------------------------------------------------- #
+# Drain under live router traffic (the front-tier contract)
+# ---------------------------------------------------------------------- #
+
+class TestDrainUnderRouterTraffic:
+    def test_sigterm_drain_while_router_sending(self):
+        job = {
+            "kind": "objective", "profile": PROFILE, "k": 2,
+            "weights": np.full(R, 1.0 / R),
+        }
+        with FleetManager(3, argv_extra=["--workers", "1"]) as fleet:
+            addrs = fleet.addresses()
+            primary = HashRing(addrs).lookup(route_key(job))[0]
+            config = RouterConfig(
+                daemons=tuple(addrs), replication=2, health_interval=0.1
+            )
+            with Router(config) as router:
+                first = router.submit(dict(job))
+                assert first["routed_to"] == primary
+                expected = first["result"]["value"]
+                stop = threading.Event()
+                replies, errors = [], []
+
+                def pound():
+                    while not stop.is_set():
+                        try:
+                            replies.append(router.submit(dict(job)))
+                        except Exception as error:  # noqa: BLE001
+                            errors.append(error)
+
+                threads = [
+                    threading.Thread(target=pound) for _ in range(2)
+                ]
+                for thread in threads:
+                    thread.start()
+                try:
+                    time.sleep(0.3)  # traffic in flight at the primary
+                    fleet.terminate_one(primary)  # SIGTERM: drain
+                    # the health flag takes it out of rotation
+                    assert wait_for(
+                        lambda: router.health[primary].draining
+                        or not router.health[primary].alive,
+                        timeout=10.0,
+                    )
+                    # the daemon finishes in-flight work and exits clean
+                    assert fleet.daemon(primary).wait(timeout=30) == 0
+                    time.sleep(0.3)  # traffic continues on survivors
+                finally:
+                    stop.set()
+                    for thread in threads:
+                        thread.join(timeout=30)
+                # zero lost: every admitted request completed, and
+                # completed bit-identically
+                assert not errors, errors[:3]
+                assert replies
+                assert all(
+                    r["result"]["value"] == expected for r in replies
+                )
+                # traffic really did move off the drained daemon
+                tail = [r["routed_to"] for r in replies[-5:]]
+                assert primary not in tail
