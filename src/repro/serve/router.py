@@ -288,6 +288,21 @@ class CircuitBreaker:
             self._consecutive = 0
             self._probing = False
 
+    def release_probe(self) -> None:
+        """Neutral outcome: free a slot claimed by :meth:`allow` without
+        judging the daemon.
+
+        Every ``allow()`` must be balanced by exactly one of
+        ``record_success`` / ``record_failure`` / ``release_probe``, or
+        a HALF_OPEN probe slot stays claimed forever and the daemon is
+        permanently excluded from routing.  The neutral cases: admission
+        refusals (draining/overloaded), typed client errors (validation,
+        quota, deadline — they say nothing about the daemon), and a
+        hedge loser cancelled by the race winner.  Idempotent and safe
+        after a record_* call (``_probing`` is already clear)."""
+        with self._lock:
+            self._probing = False
+
     def record_failure(self) -> None:
         with self._lock:
             self._consecutive += 1
@@ -663,12 +678,19 @@ class Router:
                 )
                 if failed.infrastructure:
                     breaker.record_failure()
+                else:
+                    breaker.release_probe()
                 self.stats.bump_daemon(address, "failed")
                 if not idempotent:
                     raise failed.error
                 failovers += 1
                 self.stats.bump("failovers")
                 continue
+            except BaseException:
+                # Typed client errors (validation, quota, deadline) say
+                # nothing about the daemon's health.
+                breaker.release_probe()
+                raise
             self.breakers[served_by].record_success()
             self.stats.bump_daemon(served_by, "completed")
             reply = dict(reply)
@@ -727,6 +749,16 @@ class Router:
             ) from error
         if cancel_box is not None:
             cancel_box["socks"].append(sock)
+            if cancel_box.get("cancelled"):
+                # The race winner finished while this attempt was still
+                # connecting: its cancel sweep ran before the socket was
+                # in the box, so honour the cancellation here instead of
+                # handing the daemon a duplicate job.
+                endpoint.discard(sock)
+                raise _AttemptFailed(
+                    ServeError(f"hedge to {address} cancelled"),
+                    infrastructure=False,
+                )
         try:
             timeout = None
             if expires_at is not None:
@@ -742,7 +774,15 @@ class Router:
             )
         except TRANSPORT_ERRORS as error:
             endpoint.discard(sock)
-            if cancel_box is None or not cancel_box.get("cancelled"):
+            cancelled = (
+                cancel_box is not None and cancel_box.get("cancelled")
+            )
+            if not cancelled and not isinstance(error, socket.timeout):
+                # A deadline-bounded submit timing out is one slow job,
+                # not evidence the daemon is down: the breaker accounts
+                # for it below, and liveness stays with the active
+                # health checker.  Everything else (RST, EOF, corrupt
+                # frame) marks the daemon dead until the next probe.
                 self.health[address].alive = False
                 self.health[address].error = (
                     f"{type(error).__name__}: {error}"
@@ -846,55 +886,91 @@ class Router:
 
         launch(address)
         launched = [address]
+        settled: set = set()
         outcome: Dict[str, Any] = {}
-        first_error: Optional[BaseException] = None
+        primary_error: Optional[BaseException] = None
         pending = 1
         hedged = False
+        hedge_armed = True
         while pending:
             timeout = None
-            if len(launched) == 1:
+            if hedge_armed and len(launched) == 1:
                 timeout = trigger - (time.monotonic() - started)
                 if timeout <= 0:
-                    # Trigger passed: launch the hedge, then wait freely.
-                    self.stats.bump("hedges_launched")
-                    hedged = True
-                    launch(hedge_partner)
-                    launched.append(hedge_partner)
-                    pending += 1
+                    # Trigger passed: claim a breaker slot for the
+                    # partner — allow(), not would_allow(), so a
+                    # recovering daemon sees one HALF_OPEN probe, never
+                    # a herd of hedges.  Denied (e.g. another request's
+                    # probe is in flight): skip hedging and wait freely.
+                    hedge_armed = False
+                    if self.breakers[hedge_partner].allow():
+                        self.stats.bump("hedges_launched")
+                        hedged = True
+                        launch(hedge_partner)
+                        launched.append(hedge_partner)
+                        pending += 1
                     continue
             try:
                 target, reply, error = results.get(timeout=timeout)
             except queue_module.Empty:
                 continue  # hedge trigger loop re-evaluates
             pending -= 1
+            settled.add(target)
             if reply is not None:
                 outcome = {"reply": reply, "served_by": target}
                 break
-            if first_error is None or target == address:
-                # Prefer the primary's error for reporting.
-                first_error = error if target == address else first_error
-                first_error = first_error or error
+            if target == address:
+                primary_error = error
+            else:
+                # The hedge partner failed on its own: settle the slot
+                # its launch claimed against its breaker.
+                if (
+                    isinstance(error, _AttemptFailed)
+                    and error.infrastructure
+                ):
+                    self.breakers[target].record_failure()
+                else:
+                    self.breakers[target].release_probe()
+                self.stats.bump_daemon(target, "failed")
         if outcome:
-            # Cancel the loser(s): shut their sockets so the daemon's
-            # disconnect probe reclaims the abandoned work.
+            served_by = outcome["served_by"]
+            if served_by != address:
+                # The hedge won; _route only sees the winner, so settle
+                # the primary's breaker slot here — a real failure
+                # counts, a cancellation is neutral.
+                if (
+                    isinstance(primary_error, _AttemptFailed)
+                    and primary_error.infrastructure
+                ):
+                    self.breakers[address].record_failure()
+                    self.stats.bump_daemon(address, "failed")
+                else:
+                    self.breakers[address].release_probe()
+            # Cancel the loser(s) still in flight: shut their sockets so
+            # the daemon's disconnect probe reclaims the abandoned work.
+            # (A loser that already settled with a failure was accounted
+            # above and has nothing left to cancel.)
             for target in launched:
-                if target == outcome["served_by"]:
+                if target == served_by or target in settled:
                     continue
                 box = cancel_boxes.get(target, {})
                 box["cancelled"] = True
                 for sock in box.get("socks", []):
                     _Endpoint.cancel(sock)
+                if target != address:
+                    # A cancelled hedge is neutral for its breaker.
+                    self.breakers[target].release_probe()
                 self.stats.bump("hedges_cancelled")
                 self.stats.bump_daemon(target, "cancelled_hedges")
-            if hedged and outcome["served_by"] != address:
+            if hedged and served_by != address:
                 self.stats.bump("hedges_won")
             self.stats.observe_latency(time.monotonic() - started)
-            return outcome["reply"], outcome["served_by"], hedged
-        # Both attempts failed: classify through the primary's error.
-        assert first_error is not None
-        if isinstance(first_error, _AttemptFailed):
-            raise first_error
-        raise first_error  # typed client error passes through
+            return outcome["reply"], served_by, hedged
+        # Both attempts failed.  The primary always settles before
+        # pending hits zero, so classify through its error — _route owns
+        # the primary's breaker accounting; the partner's happened above.
+        assert primary_error is not None
+        raise primary_error
 
     # ------------------------------------------------------------------ #
     # Fleet aggregation (the serve-stats view)

@@ -11,6 +11,7 @@ unmodified client protocol.
 
 from __future__ import annotations
 
+import socket
 import threading
 import time
 
@@ -29,7 +30,13 @@ from repro.serve import (
     ServerDraining,
 )
 from repro.serve.ring import HashRing, route_key
-from repro.serve.router import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serve.router import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    _AttemptFailed,
+)
 from repro.utils.errors import ValidationError
 
 PROFILE = "rm_small"
@@ -212,6 +219,91 @@ class TestHedging:
             assert reply["hedged"] is False
             assert router.stats.snapshot()["hedges_launched"] == 0
 
+    def test_hedge_launch_claims_breaker_probe(self, fleet):
+        # A hedge onto a recovering daemon (OPEN past cooldown) must go
+        # through allow() — claiming the single HALF_OPEN probe slot —
+        # and its win must be recorded as the partner's recovery.
+        addrs = [d.address for d in fleet]
+        ring = HashRing(addrs)
+        primary_addr, secondary_addr = ring.lookup(route_key(JOB), 2)
+        primary = fleet[addrs.index(primary_addr)]
+        config = router_config(
+            fleet, hedge_delay=0.25, health_interval=30.0
+        )
+        with Router(config) as router:
+            warm = router.submit(make_job())
+            assert warm["routed_to"] == primary_addr
+            partner = router.breakers[secondary_addr]
+            partner.record_failure()
+            partner.record_failure()
+            assert partner.state == OPEN
+            partner._opened_at -= 10.0  # cooldown elapsed: probe-ready
+            assert primary.hold_workers()
+            reply = router.submit(make_job())
+            assert reply["routed_to"] == secondary_addr
+            assert reply["hedged"] is True
+            assert partner.state == CLOSED  # probe succeeded: recovered
+            snap = router.stats.snapshot()
+            assert snap["breaker_probes"] == 1
+            assert snap["breaker_closes"] == 1
+            primary.worker_gate.set()
+
+    def test_hedge_skipped_when_partner_probe_claimed(self, fleet):
+        # The partner passes would_allow() at candidate selection, but
+        # another request claims its single HALF_OPEN probe before the
+        # hedge trigger fires: the launch-time allow() must deny the
+        # hedge entirely, never dispatch on the stale would_allow()
+        # (the thundering-herd hole).
+        addrs = [d.address for d in fleet]
+        ring = HashRing(addrs)
+        primary_addr, secondary_addr = ring.lookup(route_key(JOB), 2)
+        primary = fleet[addrs.index(primary_addr)]
+        config = router_config(
+            fleet, hedge_delay=0.2, health_interval=30.0
+        )
+        with Router(config) as router:
+            warm = router.submit(make_job())
+            assert warm["routed_to"] == primary_addr
+            partner = router.breakers[secondary_addr]
+            partner.record_failure()
+            partner.record_failure()
+            partner._opened_at -= 10.0
+            assert partner.would_allow()  # selectable as hedge partner
+            assert primary.hold_workers()
+            claim = threading.Timer(0.05, partner.allow)
+            release = threading.Timer(0.4, primary.worker_gate.set)
+            claim.start()
+            release.start()
+            try:
+                reply = router.submit(make_job())
+            finally:
+                claim.cancel()
+                release.cancel()
+                primary.worker_gate.set()
+            assert reply["routed_to"] == primary_addr
+            assert reply["hedged"] is False
+            snap = router.stats.snapshot()
+            assert snap["hedges_launched"] == 0
+            assert snap["breaker_rejections"] >= 1
+            assert partner.state == HALF_OPEN  # probe slot untouched
+            assert not partner.would_allow()
+
+    def test_cancelled_hedge_aborts_before_dispatch(self, fleet):
+        # The winner can finish while the loser is still connecting: the
+        # cancel sweep misses the not-yet-boxed socket, so _wire_submit
+        # itself must honour the flag before sending the duplicate job.
+        with Router(router_config(fleet, health_interval=30.0)) as router:
+            address = fleet[0].address
+            box = {"socks": [], "cancelled": True}
+            with pytest.raises(_AttemptFailed) as excinfo:
+                router._wire_submit(
+                    address, {"op": "ping"}, expires_at=None,
+                    cancel_box=box,
+                )
+            assert excinfo.value.infrastructure is False
+            # self-inflicted: the daemon must not be marked dead
+            assert router.health[address].alive is True
+
     def test_quantile_trigger_needs_samples(self, fleet):
         config = router_config(
             fleet, hedge_quantile=0.95, hedge_min_samples=5
@@ -280,6 +372,38 @@ class TestCircuitBreaker:
         breaker.record_failure()
         assert breaker.state == CLOSED  # failures were not consecutive
 
+    def test_release_probe_frees_half_open_slot(self):
+        # A neutral outcome (refusal, client error, cancelled hedge)
+        # must return the probe slot; otherwise the breaker wedges in
+        # HALF_OPEN and the daemon is excluded from routing forever.
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failures=1, cooldown=1.0, clock=lambda: clock[0]
+        )
+        breaker.record_failure()
+        clock[0] = 1.5
+        assert breaker.allow()  # claims the single HALF_OPEN probe
+        assert not breaker.would_allow()
+        breaker.release_probe()
+        assert breaker.state == HALF_OPEN  # no verdict was reached
+        assert breaker.would_allow()
+        assert breaker.allow()  # next request can probe again
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_release_probe_harmless_after_verdict(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failures=1, cooldown=1.0, clock=lambda: clock[0]
+        )
+        breaker.record_failure()
+        clock[0] = 1.5
+        assert breaker.allow()
+        breaker.record_failure()  # probe verdict: still broken
+        breaker.release_probe()  # e.g. a cancel sweep after the fact
+        assert breaker.state == OPEN
+        assert not breaker.allow()  # cooldown restarted, not bypassed
+
     def test_dispatch_failures_feed_the_breaker(self, fleet):
         config = router_config(
             fleet, health_interval=30.0, breaker_failures=1,
@@ -300,6 +424,74 @@ class TestCircuitBreaker:
             assert reply["result"]["value"] == first["result"]["value"]
             assert router.breakers[victim_addr].state == OPEN
             assert router.stats.snapshot()["breaker_opens"] == 1
+
+    def test_half_open_probe_survives_admission_refusal(self, fleet):
+        # A HALF_OPEN probe answered with a draining/overloaded refusal
+        # is neutral: it must release the probe slot (regression: the
+        # slot leaked and the breaker wedged, permanently excluding the
+        # daemon from routing).
+        config = router_config(
+            fleet, health_interval=30.0, breaker_failures=1
+        )
+        with Router(config) as router:
+            first = router.submit(make_job())
+            primary_addr = first["routed_to"]
+            primary = next(d for d in fleet if d.address == primary_addr)
+            primary.drain()  # health never probes: dispatch discovers it
+            breaker = router.breakers[primary_addr]
+            breaker.record_failure()
+            assert breaker.state == OPEN
+            breaker._opened_at -= 10.0  # cooldown elapsed: probe-ready
+            reply = router.submit(make_job())
+            assert reply["routed_to"] != primary_addr
+            assert reply["failovers"] == 1
+            assert breaker.state == HALF_OPEN  # refusal is no verdict
+            assert breaker.would_allow()  # the probe slot was released
+
+    def test_client_error_releases_half_open_probe(self, fleet):
+        # Typed client errors (validation here) pass through the router
+        # untouched — but a probe slot claimed for the dispatch must
+        # still be returned.
+        config = router_config(
+            fleet, health_interval=30.0, breaker_failures=1
+        )
+        with Router(config) as router:
+            first = router.submit(make_job())
+            breaker = router.breakers[first["routed_to"]]
+            breaker.record_failure()
+            breaker._opened_at -= 10.0
+            with pytest.raises(ValidationError):
+                router.submit({
+                    "kind": "objective", "profile": PROFILE, "k": 2,
+                    "weights": np.full(R, 1.0 / R),
+                    "config": {"bogus_knob": 1},
+                })
+            assert breaker.state == HALF_OPEN
+            assert breaker.would_allow()
+
+    def test_submit_timeout_does_not_mark_daemon_dead(self, monkeypatch):
+        # One slow job exhausting its deadline says nothing about the
+        # daemon's liveness: the breaker does the accounting, the active
+        # health checker owns alive/dead (regression: a socket.timeout
+        # flipped health.alive and evicted a healthy replica).
+        monkeypatch.setattr("repro.serve.router.REPLY_GRACE", 0.1)
+        sink = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sink.bind(("127.0.0.1", 0))
+        sink.listen(1)  # accepts connects, never replies
+        address = "127.0.0.1:%d" % sink.getsockname()[1]
+        router = Router(RouterConfig(daemons=(address,)))
+        try:
+            with pytest.raises(_AttemptFailed) as excinfo:
+                router._wire_submit(
+                    address,
+                    {"op": "submit"},
+                    expires_at=time.monotonic() + 0.2,
+                )
+            assert excinfo.value.infrastructure is True  # breaker-worthy
+            assert router.health[address].alive is True
+        finally:
+            router.close()
+            sink.close()
 
     def test_open_breaker_removes_replica_from_rotation(self, fleet):
         config = router_config(
