@@ -1,6 +1,7 @@
-"""Serving-daemon benchmark: throughput, overload, batching, chaos.
+"""Serving-daemon benchmark: throughput, overload, batching, caching,
+priorities, chaos.
 
-Four legs against a live daemon on loopback TCP (DESIGN.md §13):
+Six legs against a live daemon on loopback TCP (DESIGN.md §13, §15):
 
 * **throughput** — 4 concurrent tenants submitting objective requests;
   reports QPS and request-latency p50/p99;
@@ -15,15 +16,25 @@ Four legs against a live daemon on loopback TCP (DESIGN.md §13):
   stack up, then released into one cross-request batch: coalescing must
   actually happen (``batched > 1``) and the values must equal the
   sequentially-served ones **bitwise**;
+* **result_cache** — repeat objective traffic against a cache-enabled
+  daemon vs an identical ``result_cache=False`` daemon: every repeat
+  must be a counted hit, **bit-identical** to the cold reply and to
+  direct in-process evaluation, and the repeat-phase p50 latency must
+  drop by at least :data:`RESULT_CACHE_SPEEDUP_FLOOR`;
+* **priority** — one worker, one tenant, a queued batch-class flood
+  with interactive requests arriving behind it: interactive requests
+  must jump the backlog (interactive p99 queue wait below the batch
+  p50) while every batch request still completes (aging bounds
+  starvation in both directions);
 * **chaos** (full mode) — executors run remote-backend shard contexts
   with a seeded ``FaultPlan``; mid-traffic every spawned worker fleet is
   hard-killed.  The daemon must keep serving (degradation ladder:
   ``remote -> process -> serial``), results must stay bit-identical, and
   the health endpoint must report the degradation rung.
 
-Runs as a plain script (``--smoke`` for the CI leg — throughput,
-overload, and batching on a small profile — ``--json`` to echo the
-machine-readable results always written under ``benchmarks/results/``).
+Runs as a plain script (``--smoke`` for the CI leg — everything but
+chaos on a small profile — ``--json`` to echo the machine-readable
+results always written under ``benchmarks/results/``).
 """
 
 from __future__ import annotations
@@ -59,6 +70,8 @@ PROFILE_SMOKE = "rm_small"
 PROFILE_FULL = "dblp_small"
 N_CLIENTS = 4
 SHED_P99_CEILING_MS = 100.0
+#: minimum p50 speedup of repeat traffic, cache on vs cache off.
+RESULT_CACHE_SPEEDUP_FLOOR = 10.0
 
 #: seeded chaos schedule for the full-mode leg (mirrors bench_chaos).
 CHAOS_PLAN = FaultPlan(seed=7, crash_rate=0.15, corrupt_rate=0.1)
@@ -245,8 +258,11 @@ def leg_overload(profile: str, queue_depth: int, burst: int) -> dict:
 def leg_batching(profile: str, group: int) -> dict:
     r = _views(profile)
     points = [_weights(r, 200 + i) for i in range(group)]
+    # The repeat submissions must actually execute to coalesce, so the
+    # result cache (which would answer them instantly) is off here.
     config = ServeConfig(
-        bind="127.0.0.1:0", workers=2, batch_limit=max(group, 2)
+        bind="127.0.0.1:0", workers=2, batch_limit=max(group, 2),
+        result_cache=False,
     )
     with ServeDaemon(config) as daemon:
         with ServeClient(daemon.address) as client:
@@ -284,6 +300,169 @@ def leg_batching(profile: str, group: int) -> dict:
         "max_batched": max(batched_sizes),
         "bit_identical": batched_values == sequential,
         "ok": max(batched_sizes) > 1 and batched_values == sequential,
+    }
+
+
+def leg_result_cache(profile: str, points_n: int, passes: int) -> dict:
+    """Repeat objective traffic: cache-on hits vs cache-off recompute."""
+    r = _views(profile)
+    points = [_weights(r, 300 + i) for i in range(points_n)]
+
+    def drive(config: ServeConfig) -> tuple:
+        """(cold replies, repeat replies, repeat latencies, health)."""
+        repeat_latencies: list = []
+        with ServeDaemon(config) as daemon:
+            with ServeClient(daemon.address) as client:
+                cold = [
+                    client.submit({
+                        "kind": "objective", "profile": profile,
+                        "weights": w,
+                    })
+                    for w in points
+                ]
+                repeats = []
+                for _ in range(passes):
+                    for w in points:
+                        started = time.monotonic()
+                        repeats.append(client.submit({
+                            "kind": "objective", "profile": profile,
+                            "weights": w,
+                        }))
+                        repeat_latencies.append(
+                            time.monotonic() - started
+                        )
+                health = client.health()
+        return cold, repeats, repeat_latencies, health
+
+    cached_cold, cached_repeats, cached_latencies, cached_health = drive(
+        ServeConfig(bind="127.0.0.1:0", workers=2)
+    )
+    _, plain_repeats, plain_latencies, plain_health = drive(
+        ServeConfig(bind="127.0.0.1:0", workers=2, result_cache=False)
+    )
+
+    direct = _direct_values(profile, points)
+    n_repeats = points_n * passes
+
+    def identical(reply, cold_reply, direct_value) -> bool:
+        mine, ref = reply["result"], cold_reply["result"]
+        return (
+            mine["value"] == ref["value"] == direct_value
+            and np.array_equal(mine["eigenvalues"], ref["eigenvalues"])
+        )
+
+    cached_identical = all(
+        identical(reply, cached_cold[i % points_n], direct[i % points_n])
+        for i, reply in enumerate(cached_repeats)
+    )
+    plain_identical = all(
+        identical(reply, cached_cold[i % points_n], direct[i % points_n])
+        for i, reply in enumerate(plain_repeats)
+    )
+    all_flagged = all(
+        reply.get("cached") is True for reply in cached_repeats
+    )
+    hits = cached_health["results"]["hits"]
+    hit_p50_ms = percentile(cached_latencies, 50) * 1e3
+    miss_p50_ms = percentile(plain_latencies, 50) * 1e3
+    speedup = miss_p50_ms / hit_p50_ms if hit_p50_ms > 0 else float("inf")
+    return {
+        "leg": "result_cache",
+        "points": points_n,
+        "repeats": n_repeats,
+        "hits": hits,
+        "hit_p50_ms": hit_p50_ms,
+        "recompute_p50_ms": miss_p50_ms,
+        "speedup": speedup,
+        "hits_bit_identical": cached_identical,
+        "recompute_bit_identical": plain_identical,
+        "cache_off_disabled": not plain_health["results"]["enabled"],
+        "ok": (
+            cached_identical
+            and plain_identical
+            and all_flagged
+            and hits >= n_repeats
+            and not plain_health["results"]["enabled"]
+            and speedup >= RESULT_CACHE_SPEEDUP_FLOOR
+        ),
+    }
+
+
+def leg_priority(profile: str, batch_n: int, interactive_n: int) -> dict:
+    """Interactive requests jump a queued batch flood; batch completes."""
+    r = _views(profile)
+    # One worker, coalescing and the result cache off: queue waits then
+    # measure *scheduling*, not batching or caching.
+    config = ServeConfig(
+        bind="127.0.0.1:0", workers=1, batch_limit=1,
+        result_cache=False, queue_depth=batch_n + interactive_n + 4,
+    )
+    outcomes = {"batch": 0, "interactive": 0, "errors": 0}
+    lock = threading.Lock()
+    with ServeDaemon(config) as daemon:
+        with ServeClient(daemon.address) as warm:
+            warm.submit({
+                "kind": "objective", "profile": profile,
+                "weights": _weights(r, 0),
+            })
+        assert daemon.hold_workers()
+
+        def submit(priority: str, seed: int) -> None:
+            try:
+                with ServeClient(daemon.address, tenant="mixed") as c:
+                    c.submit(
+                        {
+                            "kind": "objective", "profile": profile,
+                            "weights": _weights(r, seed),
+                        },
+                        priority=priority,
+                    )
+                with lock:
+                    outcomes[priority] += 1
+            except Exception:
+                with lock:
+                    outcomes["errors"] += 1
+
+        threads = [
+            threading.Thread(target=submit, args=("batch", 400 + i))
+            for i in range(batch_n)
+        ]
+        for thread in threads:
+            thread.start()
+        _wait_for(lambda: daemon.queue.depth == batch_n)
+        # Interactive arrives *behind* the whole batch backlog.
+        late = [
+            threading.Thread(
+                target=submit, args=("interactive", 500 + i)
+            )
+            for i in range(interactive_n)
+        ]
+        for thread in late:
+            thread.start()
+        _wait_for(
+            lambda: daemon.queue.depth == batch_n + interactive_n
+        )
+        daemon.worker_gate.set()
+        for thread in threads + late:
+            thread.join(timeout=120)
+        priorities = daemon.stats.snapshot()["priorities"]
+    interactive_p99 = priorities["interactive"]["queue_wait_p99_ms"]
+    batch_p50 = priorities["batch"]["queue_wait_p50_ms"]
+    return {
+        "leg": "priority",
+        "batch": batch_n,
+        "interactive": interactive_n,
+        "batch_completed": outcomes["batch"],
+        "interactive_completed": outcomes["interactive"],
+        "errors": outcomes["errors"],
+        "interactive_p99_ms": interactive_p99,
+        "batch_p50_ms": batch_p50,
+        "ok": (
+            outcomes["batch"] == batch_n  # no starvation
+            and outcomes["interactive"] == interactive_n
+            and outcomes["errors"] == 0
+            and interactive_p99 < batch_p50  # the backlog was jumped
+        ),
     }
 
 
@@ -365,6 +544,13 @@ def run(smoke: bool = False, capsys=None, echo_json: bool = False) -> bool:
             burst=8 if smoke else 32,
         ),
         leg_batching(profile, group=4 if smoke else 8),
+        leg_result_cache(
+            profile, points_n=3 if smoke else 4, passes=3,
+        ),
+        leg_priority(
+            profile, batch_n=8 if smoke else 12,
+            interactive_n=3 if smoke else 4,
+        ),
     ]
     if not smoke:
         legs.append(leg_chaos(PROFILE_SMOKE, requests=4))
@@ -391,6 +577,9 @@ def run(smoke: bool = False, capsys=None, echo_json: bool = False) -> bool:
         "gates": {
             "shed_p99_ceiling_ms": SHED_P99_CEILING_MS,
             "batched_bit_identity": True,
+            "result_cache_speedup_floor": RESULT_CACHE_SPEEDUP_FLOOR,
+            "result_cache_bit_identity": True,
+            "interactive_p99_under_batch_p50": True,
         },
         "legs": legs,
     }

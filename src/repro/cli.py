@@ -97,7 +97,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_stats = commands.add_parser(
         "serve-stats",
         help="query a running serving daemon's health endpoint "
-             "(python -m repro.serve) and print its stats",
+             "(python -m repro.serve) and print its stats; the serve: "
+             "line includes result-cache hits (the result_hits counter: "
+             "requests answered bit-identically from the deterministic "
+             "result cache), and against a router the result-cache "
+             "line is the fleet-aggregated hit rate",
     )
     serve_stats.add_argument(
         "address", metavar="HOST:PORT",
@@ -339,6 +343,10 @@ def _cmd_serve_stats(args) -> int:
         from repro.serve.router import RouteStats
 
         print(f"serve: {ServeStats.summary_from_snapshot(health['stats'])}")
+        if health.get("results", {}).get("enabled"):
+            from repro.serve.results import results_summary
+
+            print(f"results: fleet {results_summary(health['results'])}")
         ring = health["ring"]
         print(
             f"ring: {len(ring['nodes'])} daemons, "
@@ -366,6 +374,10 @@ def _cmd_serve_stats(args) -> int:
             from repro.serve.jobs import cache_summary
 
             serve_line = f"{serve_line}; {cache_summary(health['cache'])}"
+        if health.get("results", {}).get("enabled"):
+            from repro.serve.results import results_summary
+
+            serve_line = f"{serve_line}; {results_summary(health['results'])}"
         print(f"serve: {serve_line}")
         print(
             f"queue: {health['queue_depth']}/{health['queue_capacity']} "

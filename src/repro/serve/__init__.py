@@ -19,6 +19,15 @@ per-worker :class:`~repro.shard.ShardContext`\\ s.  The robustness core:
 * **per-tenant isolation** — token-bucket admission quotas plus
   start-time-fair (SFQ) weighted dequeue, so one tenant's flood cannot
   starve another; queue-wait and outcome counters are kept per tenant;
+* **priority classes** — each request carries ``interactive`` /
+  ``normal`` / ``batch``, applied as a weight multiplier on the SFQ
+  flow with an aging term so a batch flood never starves interactive
+  traffic and interactive pressure never starves batch (DESIGN.md §15);
+* **deterministic result caching**
+  (:class:`~repro.serve.results.ResultCache`) — every job kind is a
+  pure function of its request fields, so computed results are cached
+  under a canonical identity digest and identical repeat requests are
+  answered from memory in microseconds, bit-identical to recomputation;
 * **cross-request batching** — compatible objective requests are
   coalesced into one :meth:`~repro.core.objective.SpectralObjective.
   evaluate_batch` call through the existing ``batch`` /
@@ -53,6 +62,7 @@ from repro.serve.config import RouterConfig, ServeConfig
 from repro.serve.daemon import ServeDaemon, spawn_daemon
 from repro.serve.fleet import FleetManager, spawn_router
 from repro.serve.queue import AdmissionQueue, RequestEntry, TokenBucket
+from repro.serve.results import ResultCache, result_key
 from repro.serve.ring import HashRing, remap_fraction, route_key
 from repro.serve.router import (
     CircuitBreaker,
@@ -78,6 +88,7 @@ __all__ = [
     "HashRing",
     "NoHealthyReplica",
     "RequestEntry",
+    "ResultCache",
     "RouteStats",
     "Router",
     "RouterConfig",
@@ -92,6 +103,7 @@ __all__ = [
     "TenantQuotaExceeded",
     "TokenBucket",
     "remap_fraction",
+    "result_key",
     "route_key",
     "spawn_daemon",
     "spawn_router",

@@ -107,6 +107,20 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--max-dataset-mb", type=float, default=256.0,
                         help="byte budget (MB) of the prepared-dataset "
                              "cache; LRU entries are evicted past it")
+    parser.add_argument("--max-results-mb", type=float, default=64.0,
+                        help="byte budget (MB) of the deterministic "
+                             "result cache; identical repeat requests "
+                             "replay bit-identically from memory "
+                             "(result-cache hits show on the serve: "
+                             "line and as result_hits in stats)")
+    parser.add_argument("--no-result-cache", action="store_true",
+                        help="disable the result cache (every request "
+                             "recomputes)")
+    parser.add_argument("--priority-aging", type=float, default=0.1,
+                        help="anti-starvation aging rate of the "
+                             "priority-aware fair queue (virtual-time "
+                             "units per second a queued request's rank "
+                             "decays; 0 disables aging)")
     parser.add_argument("--shard-workers", type=int, default=0,
                         help="per-executor ShardContext worker count "
                              "(0 = serve in-process)")
@@ -146,6 +160,9 @@ def main(argv: Optional[list] = None) -> int:
             drain_grace=args.drain_grace,
             max_datasets=args.max_datasets,
             max_dataset_mb=args.max_dataset_mb,
+            result_cache=not args.no_result_cache,
+            max_results_mb=args.max_results_mb,
+            priority_aging=args.priority_aging,
             authkey=authkey,
         )
         daemon = ServeDaemon(config, shard_factory=_shard_factory(args))
@@ -173,12 +190,15 @@ def main(argv: Optional[list] = None) -> int:
     shutdown.wait()
     drained = daemon.stop(drain=True)
     from repro.serve.jobs import cache_summary
+    from repro.serve.results import results_summary
 
-    print(
+    line = (
         f"serve: {daemon.stats.summary()}; "
-        f"{cache_summary(daemon.datasets.snapshot())}",
-        file=sys.stderr,
+        f"{cache_summary(daemon.datasets.snapshot())}"
     )
+    if daemon.results is not None:
+        line += f"; {results_summary(daemon.results.snapshot())}"
+    print(line, file=sys.stderr)
     if not drained:
         print(
             f"serve: drain grace ({config.drain_grace}s) expired with "

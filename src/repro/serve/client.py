@@ -198,9 +198,17 @@ class ServeClient:
         job: Dict[str, Any],
         deadline: Optional[float] = None,
         tenant: Optional[str] = None,
+        priority: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Submit one job; returns the full ``ok`` reply
-        (``result`` / ``queue_wait`` / ``batched``).
+        (``result`` / ``queue_wait`` / ``batched``, plus
+        ``cached=True`` when the daemon answered from its
+        deterministic result cache).
+
+        ``priority`` is the scheduling class (``"interactive"`` /
+        ``"normal"`` / ``"batch"``); ``None`` omits the field, which
+        the daemon reads as ``"normal"`` (and which keeps the message
+        compatible with pre-priority daemons).
 
         Raises the typed shed/deadline errors on refusal.  The socket
         timeout is the deadline plus :data:`REPLY_GRACE` — the daemon
@@ -211,13 +219,16 @@ class ServeClient:
         an unknown (potentially mutating) kind is never retried.
         """
         timeout = deadline + REPLY_GRACE if deadline is not None else None
+        message = {
+            "op": "submit",
+            "tenant": tenant if tenant is not None else self.tenant,
+            "deadline": deadline,
+            "job": job,
+        }
+        if priority is not None:
+            message["priority"] = priority
         return self._checked(
-            {
-                "op": "submit",
-                "tenant": tenant if tenant is not None else self.tenant,
-                "deadline": deadline,
-                "job": job,
-            },
+            message,
             timeout=timeout,
             retryable=job.get("kind") in IDEMPOTENT_KINDS,
         )

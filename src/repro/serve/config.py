@@ -60,6 +60,19 @@ class ServeConfig:
         layers.  Inserting past the budget evicts least-recently-used
         entries until the cache fits (eviction counters surface on the
         ``serve:`` stats line and in the health payload).
+    result_cache:
+        Whether to keep the deterministic result cache
+        (:class:`~repro.serve.results.ResultCache`): computed job
+        results keyed by the canonical job identity, replayed
+        bit-identically on repeat traffic.  ``False`` recomputes every
+        request.
+    max_results_mb:
+        Byte budget (MB) of the result cache; least-recently-used
+        results are evicted past it.
+    priority_aging:
+        Anti-starvation aging rate of the priority-aware fair queue
+        (virtual-time units per second of queue wait); ``0`` disables
+        aging.  See :mod:`repro.serve.queue`.
     authkey:
         Shared frame-integrity key of the wire protocol.
     """
@@ -76,6 +89,9 @@ class ServeConfig:
     drain_grace: float = 30.0
     max_datasets: int = 8
     max_dataset_mb: float = 256.0
+    result_cache: bool = True
+    max_results_mb: float = 64.0
+    priority_aging: float = 0.1
     authkey: bytes = field(default=DEFAULT_AUTHKEY, repr=False)
 
     def __post_init__(self) -> None:
@@ -130,6 +146,15 @@ class ServeConfig:
                 f"max_dataset_mb must be positive, "
                 f"got {self.max_dataset_mb}"
             )
+        if self.max_results_mb <= 0:
+            raise ValidationError(
+                f"max_results_mb must be positive, "
+                f"got {self.max_results_mb}"
+            )
+        if self.priority_aging < 0:
+            raise ValidationError(
+                f"priority_aging must be >= 0, got {self.priority_aging}"
+            )
 
     @property
     def max_inflight_bytes(self) -> int:
@@ -138,6 +163,10 @@ class ServeConfig:
     @property
     def max_dataset_bytes(self) -> int:
         return int(self.max_dataset_mb * 1024 * 1024)
+
+    @property
+    def max_results_bytes(self) -> int:
+        return int(self.max_results_mb * 1024 * 1024)
 
     def weight_for(self, tenant: str) -> float:
         return float((self.tenant_weights or {}).get(tenant, 1.0))

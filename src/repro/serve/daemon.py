@@ -4,10 +4,13 @@ Thread anatomy of one :class:`ServeDaemon`:
 
 * one **accept** thread hands each TCP connection to a
 * **connection** thread (one per client, cheap: it parses frames,
-  admits into the :class:`~repro.serve.queue.AdmissionQueue`, then
-  *waits* — watching both the request's deadline and the client socket,
-  so an expired deadline gets a structured reply the instant it passes
-  and a disconnected client frees its queue slot immediately);
+  admits into the :class:`~repro.serve.queue.AdmissionQueue`, consults
+  the deterministic :class:`~repro.serve.results.ResultCache` — a hit
+  answers the admitted request in place, bit-identically, without ever
+  reaching a worker — then *waits* — watching both the request's
+  deadline and the client socket, so an expired deadline gets a
+  structured reply the instant it passes and a disconnected client
+  frees its queue slot immediately);
 * ``workers`` **executor** threads, each owning a persistent
   :class:`~repro.shard.ShardContext` (when a ``shard_factory`` is
   given).  A worker takes the fair-queue head, coalesces compatible
@@ -47,6 +50,7 @@ from repro.serve.jobs import (
 )
 from repro.serve.protocol import check_request, error_reply
 from repro.serve.queue import AdmissionQueue, RequestEntry
+from repro.serve.results import ResultCache, result_key
 from repro.serve.stats import ServeStats
 from repro.shard.remote import parse_address, recv_frame, send_frame
 from repro.utils.errors import ReproError, ServeError
@@ -101,10 +105,17 @@ class ServeDaemon:
             weight_for=self.config.weight_for,
             tenant_rate=self.config.tenant_rate,
             tenant_burst=self.config.tenant_burst,
+            priority_aging=self.config.priority_aging,
         )
         self.datasets = DatasetCache(
             self.config.max_datasets,
             max_bytes=self.config.max_dataset_bytes,
+        )
+        #: deterministic result cache (None when disabled): identical
+        #: repeat requests are answered from memory, bit-identically.
+        self.results: Optional[ResultCache] = (
+            ResultCache(max_bytes=self.config.max_results_bytes)
+            if self.config.result_cache else None
         )
         #: test hook: clear to hold executor threads before their next
         #: take() — lets tests stack compatible requests into one batch
@@ -243,6 +254,10 @@ class ServeDaemon:
                 "workers_quarantined": workers_quarantined,
             },
             "cache": self.datasets.snapshot(),
+            "results": (
+                self.results.snapshot()
+                if self.results is not None else {"enabled": False}
+            ),
             "stats": self.stats.snapshot(),
         }
 
@@ -320,12 +335,32 @@ class ServeDaemon:
             nbytes=len(pickle.dumps(job, pickle.HIGHEST_PROTOCOL)),
             deadline=deadline,
             batch_key=batch_key(job),
+            priority=message.get("priority") or "normal",
         )
         try:
             self.queue.submit(entry)
         except ServeError as error:
             return error_reply(error)
-        # Admitted: wait for completion, watching deadline + socket.
+        # Admitted: check the result cache *after* admission, so repeat
+        # traffic still pays the front door (quotas, depth, bytes) and
+        # a cache-hit flood cannot starve the admission gates of their
+        # accounting.  A hit completes the queued entry in place — the
+        # reply is the cached (bit-identical) result, in microseconds.
+        if self.results is not None:
+            entry.result_key = result_key(job)
+            cached = self.results.get(entry.result_key)
+            if cached is not None and self.queue.finish_queued(
+                entry, cached
+            ):
+                self.stats.bump(entry.tenant, "result_hits")
+                return {
+                    "ok": True,
+                    "result": cached,
+                    "queue_wait": entry.queue_wait,
+                    "batched": entry.batched_with,
+                    "cached": True,
+                }
+        # Wait for completion, watching deadline + socket.
         while not entry.done.wait(WAIT_SLICE):
             if entry.expired():
                 # Structured reply *at* the deadline, even if the job is
@@ -393,11 +428,39 @@ class ServeDaemon:
             if entry is None:
                 continue
             group = self.queue.collect_batch(entry, self.config.batch_limit)
-            for member in group:
-                member.batched_with = len(group)
             self._execute(group, shard)
 
+    def _store_result(self, entry: RequestEntry, result) -> None:
+        """Insert a successfully computed result into the result cache.
+
+        Only successes are cached (a failure must stay retryable), and
+        only under the key the connection thread derived at admission —
+        deterministic execution guarantees the value is the one any
+        future identical request would compute.
+        """
+        if self.results is not None and entry.result_key is not None:
+            self.results.put(entry.result_key, result)
+
     def _execute(self, group: List[RequestEntry], shard) -> None:
+        # Second-chance result-cache lookup: an identical request may
+        # have completed (and been inserted) between this entry's
+        # admission and its dequeue.  count=False keeps the cache's
+        # hit/miss counters at one lookup per request — the connection
+        # thread already counted this entry's miss.
+        if self.results is not None:
+            remaining_group = []
+            for entry in group:
+                cached = self.results.get(entry.result_key, count=False)
+                if cached is not None:
+                    self.stats.bump(entry.tenant, "result_hits")
+                    self.queue.finish(entry, cached)
+                else:
+                    remaining_group.append(entry)
+            group = remaining_group
+            if not group:
+                return
+        for member in group:
+            member.batched_with = len(group)
         # Propagate the tightest remaining deadline of the group into the
         # shard context's per-attempt deadline: a hung shard dispatch is
         # reclaimed by the FailureDirector instead of outliving the
@@ -422,6 +485,7 @@ class ServeDaemon:
                     [entry.job for entry in group], self.datasets, shard
                 )
                 for entry, result in zip(group, results):
+                    self._store_result(entry, result)
                     self.queue.finish(entry, result)
             else:
                 entry = group[0]  # cluster/embed never batch
@@ -429,6 +493,7 @@ class ServeDaemon:
                     result = run_cluster(entry.job, self.datasets, shard)
                 else:
                     result = run_embed(entry.job, self.datasets, shard)
+                self._store_result(entry, result)
                 self.queue.finish(entry, result)
         except Exception as error:
             for entry in group:

@@ -118,9 +118,21 @@ class DatasetCache:
 
     Two layers, each bounded by ``capacity`` entries: generated MVAGs
     keyed by ``(profile, seed)`` and prepared view-Laplacian lists keyed
-    by ``(profile, seed, k, config overrides)``.  Preparation runs under
-    the lock — concurrent first requests for the same profile build it
-    once, not ``workers`` times.
+    by ``(profile, seed, k, config overrides)``.  Builds are serialized
+    **per key** via latches, not under the cache lock: concurrent first
+    requests for the same profile still build it once (followers wait
+    on the owner's latch), but a cold multi-second build never blocks
+    another tenant's cache *hit* on an unrelated key — the lock is held
+    only for dictionary bookkeeping.  A failed build clears its latch,
+    so one waiter retries as the new owner instead of every follower
+    inheriting the error forever.
+
+    Hit/miss counters count one outcome per public lookup: an immediate
+    find or a value obtained by waiting out another thread's build is a
+    hit; becoming the build owner is a miss.  Internal lookups (the
+    MVAG resolved while building a Laplacian entry) are counter-neutral
+    — they are an implementation detail of the build, not client
+    traffic against the mvag layer.
 
     On top of the entry caps sits a **byte budget** (``max_bytes``)
     shared across both layers: every entry's payload is accounted via
@@ -149,20 +161,70 @@ class DatasetCache:
         )
         self._clock = itertools.count()
         self._memory = MemoryTracker(label="dataset-cache")
+        #: (layer tag, key) -> latch of an in-flight build; waiters
+        #: block on the latch instead of the cache lock.
+        self._building: Dict[Tuple[str, Tuple], threading.Event] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.current_bytes = 0
 
-    def _get(self, store: OrderedDict, key: Tuple):
+    def _lookup_locked(self, store: OrderedDict, key: Tuple):
+        """LRU-touching lookup; caller holds the lock and does counting."""
         entry = store.get(key)
-        if entry is not None:
-            store[key] = (entry[0], entry[1], next(self._clock))
-            store.move_to_end(key)
-            self.hits += 1
-            return entry[0]
-        self.misses += 1
-        return None
+        if entry is None:
+            return None
+        store[key] = (entry[0], entry[1], next(self._clock))
+        store.move_to_end(key)
+        return entry[0]
+
+    def _get_or_build(
+        self,
+        layer: str,
+        store: OrderedDict,
+        key: Tuple,
+        builder,
+        count: bool = True,
+    ):
+        """Return ``store[key]``, building it outside the lock on a miss.
+
+        One thread per key owns the build (per-key latch); others wait
+        on the latch and re-check.  ``count=False`` makes the lookup
+        counter-neutral (internal resolutions during another build).
+        """
+        latch_key = (layer, key)
+        while True:
+            wait_on = None
+            with self._lock:
+                value = self._lookup_locked(store, key)
+                if value is not None:
+                    if count:
+                        self.hits += 1
+                    return value
+                wait_on = self._building.get(latch_key)
+                if wait_on is None:
+                    self._building[latch_key] = threading.Event()
+                    if count:
+                        self.misses += 1
+                    break  # this thread owns the build
+            wait_on.wait()
+            # Loop: usually the value is now cached (a hit); if the
+            # build failed or the value was already evicted, this
+            # thread becomes the new owner.
+        try:
+            value = builder()
+        except BaseException:
+            with self._lock:
+                latch = self._building.pop(latch_key, None)
+            if latch is not None:
+                latch.set()
+            raise
+        with self._lock:
+            self._put(store, key, value)
+            latch = self._building.pop(latch_key, None)
+        if latch is not None:
+            latch.set()
+        return value
 
     def _evict(self, store: OrderedDict) -> None:
         _, (_, nbytes, _) = store.popitem(last=False)
@@ -214,15 +276,14 @@ class DatasetCache:
                     self.evictions += 1
                     break
 
-    def mvag(self, profile: str, seed=0):
-        key = (profile, seed)
-        with self._lock:
-            cached = self._get(self._mvags, key)
-            if cached is not None:
-                return cached
-            mvag = load_profile_mvag(profile, seed=seed)
-            self._put(self._mvags, key, mvag)
-            return mvag
+    def _mvag_builder(self, profile: str, seed):
+        return lambda: load_profile_mvag(profile, seed=seed)
+
+    def mvag(self, profile: str, seed=0, count: bool = True):
+        return self._get_or_build(
+            "mvag", self._mvags, (profile, seed),
+            self._mvag_builder(profile, seed), count=count,
+        )
 
     def laplacians(
         self,
@@ -233,17 +294,17 @@ class DatasetCache:
         overrides_key: Tuple,
     ) -> Tuple[List, int]:
         key = (profile, seed, k, overrides_key)
-        with self._lock:
-            cached = self._get(self._laplacians, key)
-            if cached is not None:
-                return cached
-            mvag = self._get(self._mvags, (profile, seed))
-            if mvag is None:
-                mvag = load_profile_mvag(profile, seed=seed)
-                self._put(self._mvags, (profile, seed), mvag)
-            prepared = prepare_laplacians(mvag, k, config)
-            self._put(self._laplacians, key, prepared)
-            return prepared
+
+        def build():
+            # The MVAG resolved here is part of *this* build, not a
+            # client lookup against the mvag layer: count=False keeps
+            # the hit/miss counters honest (one outcome per request).
+            mvag = self.mvag(profile, seed=seed, count=False)
+            return prepare_laplacians(mvag, k, config)
+
+        return self._get_or_build(
+            "laplacians", self._laplacians, key, build
+        )
 
     def snapshot(self) -> dict:
         """Cache counters for the health payload / ``serve:`` line."""
@@ -253,6 +314,7 @@ class DatasetCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "entries": len(self._mvags) + len(self._laplacians),
+                "building": len(self._building),
                 "bytes": self.current_bytes,
                 "max_bytes": self.max_bytes,
                 "peak_rss_mb": self._memory.check(),

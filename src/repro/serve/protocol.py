@@ -9,12 +9,15 @@ integrity check, same shared-key handshake.  This module only pins the
 Request (client -> daemon), one dict per frame::
 
     {"op": "submit", "tenant": str, "deadline": float|None,
+     "priority": "interactive"|"normal"|"batch" (optional, default
+     "normal" — absent on older clients),
      "job": {"kind": "cluster"|"embed"|"objective", ...}}
     {"op": "health"} | {"op": "stats"} | {"op": "ping"} | {"op": "drain"}
 
 Reply (daemon -> client)::
 
-    {"ok": True, "result": ..., "queue_wait": float, "batched": int}
+    {"ok": True, "result": ..., "queue_wait": float, "batched": int,
+     "cached": True (present only on result-cache hits)}
     {"ok": False, "error": {"kind": str, "message": str, "fields": dict}}
 
 Errors cross the wire as structured ``(kind, message, fields)`` triples
@@ -27,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
+from repro.serve.stats import PRIORITIES
 from repro.utils.errors import (
     DeadlineExceeded,
     NoHealthyReplica,
@@ -122,5 +126,11 @@ def check_request(message: Any) -> Dict[str, Any]:
         if not isinstance(tenant, str) or not tenant:
             raise ValidationError(
                 f"tenant must be a non-empty string, got {tenant!r}"
+            )
+        priority = message.get("priority")
+        if priority is not None and priority not in PRIORITIES:
+            raise ValidationError(
+                f"unknown priority {priority!r} "
+                f"(expected one of {PRIORITIES})"
             )
     return message

@@ -15,13 +15,26 @@ Three admission gates, applied in order at :meth:`AdmissionQueue.submit`
    unbounded memory growth.
 
 Dequeue is **start-time fair queuing** (SFQ): every admitted request
-gets a start tag ``max(virtual_clock, tenant's last finish tag)`` and a
+gets a start tag ``max(virtual_clock, flow's last finish tag)`` and a
 finish tag ``start + 1/weight``; :meth:`take` serves the request with
 the smallest finish tag and advances the virtual clock to its start
 tag.  A tenant that floods the queue only advances *its own* finish
 tags, so an interleaving light tenant is served at its weighted share —
 the classic fair-queuing isolation argument, here applied to requests
 instead of packets.
+
+A flow is a ``(tenant, priority)`` pair: each request carries a
+**priority class** (``interactive`` / ``normal`` / ``batch``), applied
+as a multiplier on the tenant's fair-share weight
+(:data:`PRIORITY_WEIGHTS`), so within one tenant interactive requests
+overtake batch backlog while cross-tenant isolation is untouched.  An
+**aging term** keeps ``batch`` from starving: the dequeue rank is
+``finish_tag - priority_aging * queue_wait``, so a long-waiting batch
+entry's rank decays until it wins a pick regardless of how many
+higher-priority arrivals keep landing ahead of it — with the default
+weights and ``priority_aging=0.1``, a batch head overtakes a fresh
+interactive request of the same weight-1 tenant after at most
+``(1/0.25 - 1/4) / 0.1 = 37.5s`` of waiting.
 
 Expiry and cancellation are first-class: an entry whose deadline passes
 while queued is finalized with
@@ -37,18 +50,24 @@ import itertools
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.serve.stats import ServeStats
+from repro.serve.stats import PRIORITIES, ServeStats
 from repro.utils.errors import (
     DeadlineExceeded,
     ServerDraining,
     ServerOverloaded,
     TenantQuotaExceeded,
+    ValidationError,
 )
 
 #: entry lifecycle states.
 QUEUED, RUNNING, DONE, CANCELLED = "queued", "running", "done", "cancelled"
+
+#: fair-share weight multiplier per priority class.  Interactive gets a
+#: 16x edge over batch within the same tenant; the aging term (see the
+#: module docstring) bounds how long that edge can defer a batch entry.
+PRIORITY_WEIGHTS = {"interactive": 4.0, "normal": 1.0, "batch": 0.25}
 
 
 class TokenBucket:
@@ -103,13 +122,24 @@ class RequestEntry:
         nbytes: int = 0,
         deadline: Optional[float] = None,
         batch_key: Optional[tuple] = None,
+        priority: str = "normal",
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
+        if priority not in PRIORITY_WEIGHTS:
+            raise ValidationError(
+                f"unknown priority {priority!r} "
+                f"(expected one of {PRIORITIES})"
+            )
         self.id = next(self._ids)
         self.tenant = tenant
         self.job = job
         self.nbytes = int(nbytes)
         self.deadline = deadline
+        self.priority = priority
+        # Store the clock so every later deadline check lives in the
+        # same time domain as expires_at — mixing an injected test clock
+        # with real time.monotonic() made expiry nonsensical.
+        self._clock = clock
         self.enqueued_at = clock()
         self.expires_at = (
             self.enqueued_at + deadline if deadline is not None else None
@@ -122,15 +152,21 @@ class RequestEntry:
         self.error: Optional[BaseException] = None
         self.queue_wait: float = 0.0
         self.batched_with: int = 1  # group size the entry executed in
+        self.result_key: Optional[bytes] = None  # set by the daemon
         # SFQ tags, assigned at submit.
         self.start_tag: float = 0.0
         self.finish_tag: float = 0.0
+
+    @property
+    def flow(self) -> Tuple[str, str]:
+        """The fair-queuing flow this entry belongs to."""
+        return (self.tenant, self.priority)
 
     def remaining(self, now: Optional[float] = None) -> Optional[float]:
         """Seconds until the deadline (``None`` = no deadline)."""
         if self.expires_at is None:
             return None
-        return self.expires_at - (time.monotonic() if now is None else now)
+        return self.expires_at - (self._clock() if now is None else now)
 
     def expired(self, now: Optional[float] = None) -> bool:
         remaining = self.remaining(now)
@@ -151,9 +187,14 @@ class AdmissionQueue:
         The daemon's :class:`~repro.serve.stats.ServeStats`; every
         admission outcome is recorded here so callers never have to.
     weight_for:
-        ``tenant -> weight`` for the fair dequeue (default 1.0).
+        ``tenant -> weight`` for the fair dequeue (default 1.0); the
+        entry's priority class multiplies this per flow.
     tenant_rate / tenant_burst:
         Token-bucket parameters applied to every tenant (0 = off).
+    priority_aging:
+        Virtual-time units/second by which a queued entry's dequeue
+        rank decays — the anti-starvation term for ``batch`` (0
+        disables aging; pure weighted priority).
     clock:
         Injectable monotonic clock (tests).
     """
@@ -166,6 +207,7 @@ class AdmissionQueue:
         weight_for: Optional[Callable[[str], float]] = None,
         tenant_rate: float = 0.0,
         tenant_burst: float = 8.0,
+        priority_aging: float = 0.0,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.capacity = int(capacity)
@@ -174,13 +216,15 @@ class AdmissionQueue:
         self._weight_for = weight_for or (lambda tenant: 1.0)
         self._tenant_rate = float(tenant_rate)
         self._tenant_burst = float(tenant_burst)
+        self._aging = float(priority_aging)
         self._clock = clock
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
-        self._pending: Dict[str, Deque[RequestEntry]] = {}
+        #: flow (tenant, priority) -> its queued entries, FIFO.
+        self._pending: Dict[Tuple[str, str], Deque[RequestEntry]] = {}
         self._buckets: Dict[str, TokenBucket] = {}
-        self._finish_tags: Dict[str, float] = {}
+        self._finish_tags: Dict[Tuple[str, str], float] = {}
         self._vclock = 0.0
         self._depth = 0
         self._inflight_bytes = 0
@@ -258,15 +302,23 @@ class AdmissionQueue:
                     inflight_bytes=self._inflight_bytes,
                     max_bytes=self.max_bytes,
                 )
-            # SFQ tags: start at max(virtual clock, tenant's last finish).
-            weight = max(1e-9, self._weight_for(tenant))
-            start = max(self._vclock, self._finish_tags.get(tenant, 0.0))
+            # SFQ tags: start at max(virtual clock, flow's last finish).
+            # The flow is (tenant, priority); the priority class scales
+            # the tenant's weight, so interactive finish tags advance
+            # 16x slower than batch ones within the same tenant.
+            flow = entry.flow
+            weight = max(
+                1e-9,
+                self._weight_for(tenant)
+                * PRIORITY_WEIGHTS[entry.priority],
+            )
+            start = max(self._vclock, self._finish_tags.get(flow, 0.0))
             entry.start_tag = start
             entry.finish_tag = start + 1.0 / weight
-            self._finish_tags[tenant] = entry.finish_tag
-            queue = self._pending.get(tenant)
+            self._finish_tags[flow] = entry.finish_tag
+            queue = self._pending.get(flow)
             if queue is None:
-                queue = self._pending[tenant] = deque()
+                queue = self._pending[flow] = deque()
             queue.append(entry)
             self._depth += 1
             self._inflight_bytes += entry.nbytes
@@ -277,21 +329,35 @@ class AdmissionQueue:
     # Dequeue
     # ------------------------------------------------------------------ #
 
+    def _rank_locked(self, entry: RequestEntry, now: float) -> float:
+        """Dequeue rank: the finish tag, aged down by queue wait.
+
+        Within a flow the finish tags are monotonic and the waits only
+        grow, so the head always has its flow's best rank — ranking the
+        heads is ranking the queue.
+        """
+        if self._aging <= 0:
+            return entry.finish_tag
+        return entry.finish_tag - self._aging * (now - entry.enqueued_at)
+
     def _pop_next_locked(self) -> Optional[RequestEntry]:
-        """The SFQ pick: head entry with the smallest finish tag."""
+        """The SFQ pick: flow-head entry with the smallest aged rank."""
         best: Optional[RequestEntry] = None
-        best_tenant: Optional[str] = None
-        for tenant, queue in self._pending.items():
+        best_flow: Optional[Tuple[str, str]] = None
+        best_rank = 0.0
+        now = self._clock()
+        for flow, queue in self._pending.items():
             if not queue:
                 continue
             head = queue[0]
-            if best is None or head.finish_tag < best.finish_tag or (
-                head.finish_tag == best.finish_tag and head.id < best.id
+            rank = self._rank_locked(head, now)
+            if best is None or rank < best_rank or (
+                rank == best_rank and head.id < best.id
             ):
-                best, best_tenant = head, tenant
+                best, best_flow, best_rank = head, flow, rank
         if best is None:
             return None
-        self._pending[best_tenant].popleft()
+        self._pending[best_flow].popleft()
         self._vclock = max(self._vclock, best.start_tag)
         return best
 
@@ -333,7 +399,10 @@ class AdmissionQueue:
                     entry.queue_wait = self._clock() - entry.enqueued_at
                     self._depth -= 1
                     self._running += 1
-                    self.stats.record_wait(entry.tenant, entry.queue_wait)
+                    self.stats.record_wait(
+                        entry.tenant, entry.queue_wait,
+                        priority=entry.priority,
+                    )
                     return entry
                 if deadline is not None:
                     remaining = deadline - self._clock()
@@ -347,16 +416,21 @@ class AdmissionQueue:
         self, entry: RequestEntry, limit: int
     ) -> List[RequestEntry]:
         """``entry`` plus up to ``limit - 1`` queued entries sharing its
-        ``batch_key``, all marked RUNNING — the cross-request batching
-        hook.  Entries keep their submission order; expired ones are
-        finalized instead of joining the batch."""
+        ``batch_key`` *and priority class*, all marked RUNNING — the
+        cross-request batching hook.  Coalescing across priorities
+        would let batch backlog ride along in (and inflate) an
+        interactive group, defeating the class separation, so only
+        same-priority entries join.  Entries keep their submission
+        order; expired ones are finalized instead of joining."""
         group = [entry]
         if entry.batch_key is None or limit <= 1:
             return group
         with self._lock:
-            for tenant, queue in self._pending.items():
+            for flow, queue in self._pending.items():
                 if len(group) >= limit:
                     break
+                if flow[1] != entry.priority:
+                    continue
                 kept: Deque[RequestEntry] = deque()
                 while queue and len(group) < limit:
                     candidate = queue.popleft()
@@ -376,7 +450,8 @@ class AdmissionQueue:
                     self._running += 1
                     self._vclock = max(self._vclock, candidate.start_tag)
                     self.stats.record_wait(
-                        candidate.tenant, candidate.queue_wait
+                        candidate.tenant, candidate.queue_wait,
+                        priority=candidate.priority,
                     )
                     group.append(candidate)
                 kept.extend(queue)
@@ -388,6 +463,38 @@ class AdmissionQueue:
     # ------------------------------------------------------------------ #
     # Completion / cancellation
     # ------------------------------------------------------------------ #
+
+    def finish_queued(self, entry: RequestEntry, result: Any) -> bool:
+        """Complete a still-QUEUED entry in place (the result-cache hit
+        path): remove it from its flow, release its budget, and count
+        it completed — the request is answered without ever running.
+
+        Returns ``False`` when the entry is no longer QUEUED (a worker
+        raced us and took it); the caller then falls back to waiting
+        for the normal completion path.
+        """
+        with self._lock:
+            if entry.state != QUEUED:
+                return False
+            queue = self._pending.get(entry.flow)
+            if queue is None:
+                return False
+            try:
+                queue.remove(entry)
+            except ValueError:  # pragma: no cover - lost race
+                return False
+            entry.state = DONE
+            entry.result = result
+            entry.queue_wait = self._clock() - entry.enqueued_at
+            self._depth -= 1
+            self._inflight_bytes -= entry.nbytes
+            self.stats.bump(entry.tenant, "completed")
+            self.stats.record_wait(
+                entry.tenant, entry.queue_wait, priority=entry.priority
+            )
+            entry.done.set()
+            self._idle.notify_all()
+            return True
 
     def finish(self, entry: RequestEntry, result: Any) -> None:
         """Mark a RUNNING entry done with ``result``; release its budget."""
@@ -432,7 +539,7 @@ class AdmissionQueue:
         """
         with self._lock:
             if entry.state == QUEUED:
-                queue = self._pending.get(entry.tenant)
+                queue = self._pending.get(entry.flow)
                 if queue is not None:
                     try:
                         queue.remove(entry)

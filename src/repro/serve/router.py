@@ -59,6 +59,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.serve.client import REPLY_GRACE
 from repro.serve.config import RouterConfig
 from repro.serve.protocol import check_request, error_reply, reply_to_error
+from repro.serve.results import merge_results_snapshots
 from repro.serve.ring import HashRing, route_key
 from repro.serve.stats import ServeStats, percentile
 from repro.shard.remote import (
@@ -602,9 +603,14 @@ class Router:
         job: Dict[str, Any],
         tenant: str = "default",
         deadline: Optional[float] = None,
+        priority: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Route one job; returns the serving daemon's ``ok`` reply
         augmented with ``routed_to`` / ``failovers`` / ``hedged``.
+
+        ``priority`` (``"interactive"`` / ``"normal"`` / ``"batch"``)
+        is forwarded verbatim to the serving daemon's priority-aware
+        fair queue; ``None`` omits the field.
 
         Raises the same typed errors a direct daemon submit would, plus
         :class:`NoHealthyReplica` when the key's whole replica set is
@@ -624,7 +630,7 @@ class Router:
         with self._inflight_lock:
             self._inflight += 1
         try:
-            reply = self._route(job, tenant, deadline, expires_at)
+            reply = self._route(job, tenant, deadline, expires_at, priority)
             self.stats.bump("completed")
             return reply
         except BaseException:
@@ -642,6 +648,7 @@ class Router:
         tenant: str,
         deadline: Optional[float],
         expires_at: Optional[float],
+        priority: Optional[str] = None,
     ) -> Dict[str, Any]:
         key = route_key(job)
         candidates, skipped = self._candidates(key)
@@ -670,7 +677,8 @@ class Router:
                         break
             try:
                 reply, served_by, hedged = self._attempt(
-                    address, hedge_partner, job, tenant, expires_at
+                    address, hedge_partner, job, tenant, expires_at,
+                    priority,
                 )
             except _AttemptFailed as failed:
                 failures[address] = (
@@ -833,6 +841,7 @@ class Router:
         job: Dict[str, Any],
         tenant: str,
         expires_at: Optional[float],
+        priority: Optional[str] = None,
     ) -> Tuple[Dict[str, Any], str, bool]:
         """Dispatch to ``address``; hedge onto ``hedge_partner`` if the
         attempt outlives the trigger.  Returns
@@ -842,10 +851,13 @@ class Router:
             remaining = None
             if expires_at is not None:
                 remaining = max(0.01, expires_at - time.monotonic())
-            return {
+            body = {
                 "op": "submit", "tenant": tenant,
                 "deadline": remaining, "job": job,
             }
+            if priority is not None:
+                body["priority"] = priority
+            return body
 
         trigger = (
             self._hedge_trigger() if hedge_partner is not None else None
@@ -1014,6 +1026,12 @@ class Router:
             "stats": ServeStats.merge_snapshots(
                 [snap["stats"] for snap in snapshots if "stats" in snap]
             ),
+            # Fleet-aggregated result-cache counters: hits/misses sum
+            # across daemons, so the serve-stats view shows one fleet
+            # hit rate for repeat traffic.
+            "results": merge_results_snapshots(
+                [snap.get("results") for snap in snapshots]
+            ),
         }
 
 
@@ -1138,6 +1156,7 @@ class RouterDaemon:
             message["job"],
             tenant=message.get("tenant", "default"),
             deadline=message.get("deadline"),
+            priority=message.get("priority"),
         )
 
 

@@ -16,10 +16,15 @@ from typing import Deque, Dict, List, Optional, Sequence
 #: stats memory is O(tenants), not O(requests)).
 WAIT_SAMPLES = 4096
 
+#: request priority classes, best-served first.  Defined here (the
+#: lowest serve module) so queue scheduling, wire validation, and stats
+#: all share one vocabulary without import cycles.
+PRIORITIES = ("interactive", "normal", "batch")
+
 _COUNTERS = (
     "requests", "admitted", "completed", "failed",
     "rejected_overload", "rejected_quota", "rejected_draining",
-    "deadline_expired", "cancelled", "batched",
+    "deadline_expired", "cancelled", "batched", "result_hits",
 )
 
 
@@ -65,6 +70,15 @@ class ServeStats:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._tenants: Dict[str, TenantStats] = {}
+        # Daemon-wide per-priority wait reservoirs: the priority story
+        # is about *class* latency across tenants, so these aggregate
+        # globally rather than per tenant.
+        self._priority_waits: Dict[str, Deque[float]] = {
+            name: deque(maxlen=WAIT_SAMPLES) for name in PRIORITIES
+        }
+        self._priority_served: Dict[str, int] = {
+            name: 0 for name in PRIORITIES
+        }
 
     def _tenant(self, tenant: str) -> TenantStats:
         stats = self._tenants.get(tenant)
@@ -79,9 +93,14 @@ class ServeStats:
             stats = self._tenant(tenant)
             setattr(stats, counter, getattr(stats, counter) + by)
 
-    def record_wait(self, tenant: str, seconds: float) -> None:
+    def record_wait(
+        self, tenant: str, seconds: float, priority: Optional[str] = None
+    ) -> None:
         with self._lock:
             self._tenant(tenant).queue_waits.append(float(seconds))
+            if priority in self._priority_waits:
+                self._priority_waits[priority].append(float(seconds))
+                self._priority_served[priority] += 1
 
     # ------------------------------------------------------------------ #
     # Snapshots
@@ -111,9 +130,23 @@ class ServeStats:
                 for name in _COUNTERS
             }
             waits = self._all_waits()
+            priorities = {
+                name: {
+                    "served": self._priority_served[name],
+                    "queue_wait_p50_ms": percentile(
+                        self._priority_waits[name], 50
+                    ) * 1e3,
+                    "queue_wait_p99_ms": percentile(
+                        self._priority_waits[name], 99
+                    ) * 1e3,
+                }
+                for name in PRIORITIES
+            }
         totals["queue_wait_p50_ms"] = percentile(waits, 50) * 1e3
         totals["queue_wait_p99_ms"] = percentile(waits, 99) * 1e3
-        return {"totals": totals, "tenants": tenants}
+        return {
+            "totals": totals, "tenants": tenants, "priorities": priorities
+        }
 
     def summary(self) -> str:
         """The one-line ``serve:`` digest (CLI and shutdown log)."""
@@ -125,8 +158,10 @@ class ServeStats:
 
         Counters sum; percentile keys take the fleet-wide maximum (a
         sum of percentiles means nothing, and the max is the honest
-        tail bound an operator cares about).  The result has the same
-        shape as :meth:`snapshot`, so :meth:`summary_from_snapshot`
+        tail bound an operator cares about).  Missing counter keys
+        (older daemons on the wire) and missing sections read as zero,
+        so a mixed-version fleet still aggregates.  The result has the
+        same shape as :meth:`snapshot`, so :meth:`summary_from_snapshot`
         renders it unchanged — this is what backs the router's
         aggregated ``serve-stats`` view.
         """
@@ -134,6 +169,10 @@ class ServeStats:
         totals = {name: 0 for name in _COUNTERS}
         totals.update({name: 0.0 for name in percentile_keys})
         tenants: Dict[str, dict] = {}
+        priorities: Dict[str, dict] = {
+            name: {"served": 0} | {key: 0.0 for key in percentile_keys}
+            for name in PRIORITIES
+        }
         for snap in snaps:
             snap_totals = snap.get("totals", {})
             for name in _COUNTERS:
@@ -154,7 +193,20 @@ class ServeStats:
                     merged[name] = max(
                         merged[name], float(payload.get(name, 0.0))
                     )
-        return {"totals": totals, "tenants": dict(sorted(tenants.items()))}
+            for name, payload in (snap.get("priorities") or {}).items():
+                merged = priorities.setdefault(
+                    name, {"served": 0} | {k: 0.0 for k in percentile_keys}
+                )
+                merged["served"] += int(payload.get("served", 0))
+                for key in percentile_keys:
+                    merged[key] = max(
+                        merged[key], float(payload.get(key, 0.0))
+                    )
+        return {
+            "totals": totals,
+            "tenants": dict(sorted(tenants.items())),
+            "priorities": priorities,
+        }
 
     @staticmethod
     def summary_from_snapshot(snap: dict) -> str:
@@ -176,7 +228,9 @@ class ServeStats:
             f"{totals['completed']} completed, "
             f"{rejected} rejected, "
             f"{totals['deadline_expired']} deadline-expired, "
-            f"{totals['batched']} batched; queue wait "
+            f"{totals['batched']} batched, "
+            f"{totals.get('result_hits', 0)} result-cache hits; "
+            f"queue wait "
             f"p50 {totals['queue_wait_p50_ms']:.1f}ms / "
             f"p99 {totals['queue_wait_p99_ms']:.1f}ms"
         )

@@ -63,9 +63,15 @@ def wait_for(predicate, timeout=10.0, interval=0.01) -> bool:
 
 @pytest.fixture()
 def fleet():
+    # Result caching off: these tests exercise routing mechanics by
+    # re-submitting the identical job (hedging/failover tests park the
+    # workers and rely on the repeat actually executing); with the
+    # cache on, the daemon would answer it from memory instantly.
     daemons = []
     for _ in range(3):
-        daemon = ServeDaemon(ServeConfig(bind="127.0.0.1:0", workers=1))
+        daemon = ServeDaemon(ServeConfig(
+            bind="127.0.0.1:0", workers=1, result_cache=False
+        ))
         daemon.start()
         daemons.append(daemon)
     yield daemons

@@ -102,7 +102,16 @@ class TestBitIdentity:
         )
         assert reply["result"]["value"] == objective(weights)
 
-    def test_batched_equals_sequential_bitwise(self, daemon):
+    def test_batched_equals_sequential_bitwise(self):
+        # The result cache would (correctly) answer the repeat phase
+        # from memory; disable it so the batch path actually executes.
+        config = ServeConfig(
+            bind="127.0.0.1:0", workers=2, result_cache=False
+        )
+        with ServeDaemon(config) as daemon:
+            self._check_batched_equals_sequential(daemon)
+
+    def _check_batched_equals_sequential(self, daemon):
         # Sequential: one at a time (workers live, nothing to coalesce).
         points = [simplex_weights(seed) for seed in range(4)]
         with ServeClient(daemon.address) as client:
@@ -503,12 +512,35 @@ class TestDatasetCacheBudget:
         cache.mvag(PROFILE, seed=0)
         assert cache.snapshot()["hits"] == hits_before + 1
 
+    def test_laplacian_counters_not_double_counted(self):
+        # Regression: laplacians() resolved its MVAG through the public
+        # counting path, so one cold laplacian request recorded *two*
+        # misses (and a warm one recorded a spurious mvag hit), skewing
+        # the health endpoint's hit rate.  The inner resolution must be
+        # counter-neutral: one lookup outcome per public call.
+        cache = DatasetCache(capacity=8)
+        config = SGLAConfig()
+        cache.laplacians(PROFILE, 0, None, config, ())
+        snap = cache.snapshot()
+        assert (snap["hits"], snap["misses"]) == (0, 1)
+        cache.laplacians(PROFILE, 0, None, config, ())
+        snap = cache.snapshot()
+        assert (snap["hits"], snap["misses"]) == (1, 1)
+        # A direct mvag request afterwards is a counted hit of its own
+        # (the inner build populated the mvag layer).
+        cache.mvag(PROFILE, seed=0)
+        snap = cache.snapshot()
+        assert (snap["hits"], snap["misses"]) == (2, 1)
+
     def test_health_and_cli_surface_cache_counters(self, daemon):
         with ServeClient(daemon.address) as client:
-            for _ in range(2):
+            # Distinct weight vectors: different result-cache keys (so
+            # both execute), same Laplacian key (so the second is a
+            # dataset-cache hit).
+            for seed in range(2):
                 client.submit({
                     "kind": "objective", "profile": PROFILE,
-                    "weights": simplex_weights(0),
+                    "weights": simplex_weights(seed),
                 })
             cache = client.health()["cache"]
         assert cache["misses"] >= 1
@@ -524,6 +556,115 @@ class TestDatasetCacheBudget:
         assert result.returncode == 0, result.stderr
         assert "cache" in result.stdout
         assert "evictions" in result.stdout
+
+
+# ---------------------------------------------------------------------- #
+# Dataset cache: per-key build latches (no lock held across builds)
+# ---------------------------------------------------------------------- #
+
+class TestDatasetCacheConcurrency:
+    def test_cold_build_does_not_block_unrelated_hits(self, monkeypatch):
+        # Regression: the cache lock was held across an entire profile
+        # build, so a cold load on one key blocked *hits* on already-
+        # cached keys for the build's full duration.  With per-key
+        # latches, only same-key requests wait.
+        started = threading.Event()
+        release = threading.Event()
+        real = load_profile_mvag
+
+        def slow_load(profile, seed=0):
+            if seed == 99:
+                started.set()
+                assert release.wait(30), "builder was never released"
+                return np.zeros(8)
+            return real(profile, seed=seed)
+
+        monkeypatch.setattr(
+            "repro.serve.jobs.load_profile_mvag", slow_load
+        )
+        cache = DatasetCache(capacity=8)
+        cache.mvag(PROFILE, seed=0)  # warm one key
+
+        builder = threading.Thread(
+            target=cache.mvag, args=(PROFILE,), kwargs={"seed": 99}
+        )
+        builder.start()
+        try:
+            assert started.wait(10)
+            assert cache.snapshot()["building"] == 1
+            # A hit on the warm key must complete while the build is
+            # still in flight.
+            got = {}
+            reader = threading.Thread(
+                target=lambda: got.setdefault(
+                    "value", cache.mvag(PROFILE, seed=0)
+                )
+            )
+            reader.start()
+            reader.join(timeout=5)
+            assert not reader.is_alive(), (
+                "hit on an unrelated key blocked behind a cold build"
+            )
+            assert got["value"] is not None
+        finally:
+            release.set()
+            builder.join(timeout=30)
+        assert cache.snapshot()["building"] == 0
+
+    def test_same_key_concurrent_requests_build_once(self, monkeypatch):
+        calls = []
+        gate = threading.Event()
+
+        def counted_load(profile, seed=0):
+            calls.append((profile, seed))
+            assert gate.wait(30)
+            return np.zeros(8)
+
+        monkeypatch.setattr(
+            "repro.serve.jobs.load_profile_mvag", counted_load
+        )
+        cache = DatasetCache(capacity=8)
+        values = [None] * 4
+
+        def fetch(index):
+            values[index] = cache.mvag("fake", seed=7)
+
+        threads = [
+            threading.Thread(target=fetch, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        assert wait_for(lambda: len(calls) >= 1)
+        time.sleep(0.05)  # give the other three time to reach the latch
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert calls == [("fake", 7)]  # exactly one build
+        assert all(value is not None for value in values)
+        snap = cache.snapshot()
+        # One miss (the owner); the three waiters found the value after
+        # the latch and count as hits.
+        assert snap["misses"] == 1
+        assert snap["hits"] == 3
+
+    def test_failed_build_releases_the_latch(self, monkeypatch):
+        attempts = []
+
+        def flaky_load(profile, seed=0):
+            attempts.append(seed)
+            if len(attempts) == 1:
+                raise RuntimeError("dataset store hiccup")
+            return np.zeros(8)
+
+        monkeypatch.setattr(
+            "repro.serve.jobs.load_profile_mvag", flaky_load
+        )
+        cache = DatasetCache(capacity=8)
+        with pytest.raises(RuntimeError):
+            cache.mvag("fake", seed=1)
+        assert cache.snapshot()["building"] == 0  # latch cleaned up
+        assert cache.mvag("fake", seed=1) is not None  # retry succeeds
+        assert len(attempts) == 2
 
 
 # ---------------------------------------------------------------------- #

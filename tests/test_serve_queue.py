@@ -12,16 +12,19 @@ import pytest
 
 from repro.serve.queue import (
     AdmissionQueue,
+    PRIORITY_WEIGHTS,
     QUEUED,
+    RUNNING,
     RequestEntry,
     TokenBucket,
 )
-from repro.serve.stats import ServeStats, percentile
+from repro.serve.stats import PRIORITIES, ServeStats, percentile
 from repro.utils.errors import (
     DeadlineExceeded,
     ServerDraining,
     ServerOverloaded,
     TenantQuotaExceeded,
+    ValidationError,
 )
 
 
@@ -44,13 +47,14 @@ def make_queue(clock=None, **overrides) -> AdmissionQueue:
     return AdmissionQueue(**params)
 
 
-def entry(tenant="a", nbytes=10, deadline=None, batch_key=None, clock=None):
+def entry(tenant="a", nbytes=10, deadline=None, batch_key=None, clock=None,
+          priority="normal"):
     kwargs = {}
     if clock is not None:
         kwargs["clock"] = clock
     return RequestEntry(
         tenant=tenant, job={"kind": "objective"}, nbytes=nbytes,
-        deadline=deadline, batch_key=batch_key, **kwargs,
+        deadline=deadline, batch_key=batch_key, priority=priority, **kwargs,
     )
 
 
@@ -359,3 +363,271 @@ class TestStats:
     def test_unknown_counter_rejected(self):
         with pytest.raises(KeyError):
             ServeStats().bump("a", "nonsense")
+
+    def test_percentile_edge_ranks(self):
+        # Nearest-rank at the extremes: empty, singleton, q=0/q=100,
+        # and the two-sample rounding boundary.
+        assert percentile([], 0) == 0.0
+        assert percentile([], 100) == 0.0
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 100) == 7.0
+        assert percentile([1.0, 2.0], 0) == 1.0
+        assert percentile([1.0, 2.0], 100) == 2.0
+        assert percentile([1.0, 2.0], 49) == 1.0
+        assert percentile([1.0, 2.0], 51) == 2.0
+        # Input order must not matter.
+        assert percentile([9.0, 1.0, 5.0], 100) == 9.0
+
+
+class TestMergeSnapshots:
+    def test_heterogeneous_tenants_and_percentiles(self):
+        a, b = ServeStats(), ServeStats()
+        a.bump("acme", "requests", 3)
+        a.bump("acme", "completed", 2)
+        a.record_wait("acme", 0.100)
+        b.bump("acme", "requests", 1)
+        b.bump("zeta", "requests", 5)  # tenant known to one daemon only
+        b.record_wait("zeta", 0.400)
+        merged = ServeStats.merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["totals"]["requests"] == 9
+        assert merged["tenants"]["acme"]["requests"] == 4
+        assert merged["tenants"]["zeta"]["requests"] == 5
+        # Percentiles take the fleet max, never a sum.
+        assert merged["totals"]["queue_wait_p99_ms"] == pytest.approx(400.0)
+        assert merged["tenants"]["acme"]["queue_wait_p99_ms"] == (
+            pytest.approx(100.0)
+        )
+
+    def test_old_wire_snapshots_missing_keys_read_as_zero(self):
+        # A pre-result-cache / pre-priority daemon's snapshot has no
+        # "result_hits" counter and no "priorities" section; a mixed
+        # fleet must still aggregate and render.
+        old = {
+            "totals": {"requests": 2, "completed": 2,
+                       "rejected_overload": 0, "rejected_quota": 0,
+                       "rejected_draining": 0, "deadline_expired": 0,
+                       "batched": 1, "queue_wait_p50_ms": 1.0,
+                       "queue_wait_p99_ms": 2.0},
+            "tenants": {"acme": {"requests": 2, "completed": 2,
+                                 "queue_wait_p99_ms": 2.0}},
+        }
+        new = ServeStats()
+        new.bump("acme", "result_hits")
+        new.record_wait("acme", 0.001, priority="interactive")
+        merged = ServeStats.merge_snapshots([old, new.snapshot()])
+        assert merged["totals"]["requests"] == 2
+        assert merged["totals"]["result_hits"] == 1
+        assert merged["tenants"]["acme"]["result_hits"] == 1
+        assert merged["priorities"]["interactive"]["served"] == 1
+        assert merged["priorities"]["batch"]["served"] == 0
+        line = ServeStats.summary_from_snapshot(merged)
+        assert "1 result-cache hits" in line
+
+    def test_empty_merge_still_renders(self):
+        merged = ServeStats.merge_snapshots([])
+        assert merged["totals"]["requests"] == 0
+        assert all(name in merged["priorities"] for name in PRIORITIES)
+        assert "0 requests" in ServeStats.summary_from_snapshot(merged)
+
+    def test_priority_waits_surface_in_snapshot(self):
+        stats = ServeStats()
+        stats.record_wait("a", 0.010, priority="interactive")
+        stats.record_wait("a", 0.500, priority="batch")
+        snap = stats.snapshot()
+        assert snap["priorities"]["interactive"]["served"] == 1
+        assert snap["priorities"]["interactive"]["queue_wait_p99_ms"] == (
+            pytest.approx(10.0)
+        )
+        assert snap["priorities"]["batch"]["queue_wait_p99_ms"] == (
+            pytest.approx(500.0)
+        )
+        assert snap["priorities"]["normal"]["served"] == 0
+
+
+# ---------------------------------------------------------------------- #
+# Injected clock (regression: entries must never read the real clock)
+# ---------------------------------------------------------------------- #
+
+class TestClockInjection:
+    def test_remaining_and_expired_use_the_injected_clock(self):
+        # Regression: RequestEntry stored expires_at from the injected
+        # clock but read time.monotonic() in remaining()/expired(), so
+        # under a fake clock every deadline looked already expired
+        # (real monotonic time >> fake 0.0).
+        clock = FakeClock(0.0)
+        item = entry(deadline=5.0, clock=clock)
+        assert item.remaining() == pytest.approx(5.0)
+        assert not item.expired()
+        clock.advance(4.0)
+        assert item.remaining() == pytest.approx(1.0)
+        clock.advance(2.0)
+        assert item.expired()
+        assert item.remaining() == pytest.approx(-1.0)
+
+    def test_no_deadline_is_unbounded(self):
+        clock = FakeClock(0.0)
+        item = entry(deadline=None, clock=clock)
+        clock.advance(1e9)
+        assert not item.expired()
+        assert item.remaining() is None
+
+
+# ---------------------------------------------------------------------- #
+# Priority classes
+# ---------------------------------------------------------------------- #
+
+class TestPriorities:
+    def test_unknown_priority_rejected_at_construction(self):
+        with pytest.raises(ValidationError):
+            entry(priority="urgent")
+
+    def test_weights_cover_all_classes(self):
+        assert set(PRIORITY_WEIGHTS) == set(PRIORITIES)
+        assert (
+            PRIORITY_WEIGHTS["interactive"]
+            > PRIORITY_WEIGHTS["normal"]
+            > PRIORITY_WEIGHTS["batch"]
+        )
+
+    def test_interactive_overtakes_batch_backlog_same_tenant(self):
+        # One tenant floods batch work, then submits interactive: the
+        # interactive request jumps the backlog because its flow's
+        # finish tags grow 16x slower.
+        queue = make_queue(capacity=20)
+        for _ in range(6):
+            queue.submit(entry("a", priority="batch"))
+        urgent = entry("a", priority="interactive")
+        queue.submit(urgent)
+        assert queue.take(timeout=0.1) is urgent
+
+    def test_priorities_are_separate_flows(self):
+        # Same tenant, two classes: FIFO holds within each class but
+        # not across them.
+        queue = make_queue(capacity=20)
+        first_batch = entry("a", priority="batch")
+        queue.submit(first_batch)
+        second_batch = entry("a", priority="batch")
+        queue.submit(second_batch)
+        normal = entry("a", priority="normal")
+        queue.submit(normal)
+        assert first_batch.flow == ("a", "batch")
+        assert normal.flow == ("a", "normal")
+        taken = [queue.take(timeout=0.1) for _ in range(3)]
+        assert taken[0] is normal  # weight 1.0 vs 0.25
+        assert taken[1:] == [first_batch, second_batch]  # FIFO in-flow
+
+    def test_aging_bounds_batch_starvation(self):
+        # Without aging a steady interactive stream starves batch
+        # forever; with aging the batch head's rank decays with queue
+        # wait and eventually wins a slot.
+        clock = FakeClock()
+        queue = make_queue(clock=clock, capacity=20, priority_aging=0.1)
+        stale = entry("a", priority="batch", clock=clock)
+        queue.submit(stale)  # finish tag = 1/0.25 = 4.0
+        clock.advance(100.0)
+        fresh = entry("a", priority="interactive", clock=clock)
+        queue.submit(fresh)  # finish tag = 0.25, but zero wait
+        # rank(stale) = 4.0 - 0.1*100 = -6.0 < rank(fresh) = 0.25
+        assert queue.take(timeout=0.1) is stale
+
+    def test_no_aging_prefers_interactive_regardless_of_wait(self):
+        clock = FakeClock()
+        queue = make_queue(clock=clock, capacity=20, priority_aging=0.0)
+        stale = entry("a", priority="batch", clock=clock)
+        queue.submit(stale)
+        clock.advance(100.0)
+        fresh = entry("a", priority="interactive", clock=clock)
+        queue.submit(fresh)
+        assert queue.take(timeout=0.1) is fresh
+
+    def test_collect_batch_never_mixes_priorities(self):
+        # Coalescing a batch-class entry into an interactive group
+        # would defeat the class separation.
+        queue = make_queue(capacity=10)
+        key = ("objective", "p", 0)
+        head = entry("a", batch_key=key, priority="interactive")
+        rider = entry("a", batch_key=key, priority="interactive")
+        freight = entry("a", batch_key=key, priority="batch")
+        for item in (head, rider, freight):
+            queue.submit(item)
+        taken = queue.take(timeout=0.1)
+        assert taken is head
+        group = queue.collect_batch(head, limit=8)
+        assert {g.id for g in group} == {head.id, rider.id}
+        assert freight.state == QUEUED
+
+    def test_cancel_and_deadline_work_on_priority_flows(self):
+        clock = FakeClock()
+        queue = make_queue(clock=clock, capacity=10)
+        doomed = entry(
+            "a", priority="interactive", deadline=1.0, clock=clock
+        )
+        queue.submit(doomed)
+        cancelled = entry("a", priority="normal", clock=clock)
+        queue.submit(cancelled)
+        survivor = entry("a", priority="batch", clock=clock)
+        queue.submit(survivor)
+        queue.cancel(cancelled)
+        clock.advance(5.0)
+        # The expired interactive head is finalized on the way to the
+        # surviving batch entry.
+        assert queue.take(timeout=0.1) is survivor
+        assert isinstance(doomed.error, DeadlineExceeded)
+        assert queue.depth == 0
+        assert queue.inflight_bytes == survivor.nbytes
+
+
+# ---------------------------------------------------------------------- #
+# finish_queued: the result-cache hit path
+# ---------------------------------------------------------------------- #
+
+class TestFinishQueued:
+    def test_completes_in_place_and_releases_budget(self):
+        queue = make_queue(capacity=2)
+        hit = entry(nbytes=40)
+        queue.submit(hit)
+        assert queue.finish_queued(hit, {"cached": True}) is True
+        assert hit.done.is_set()
+        assert hit.result == {"cached": True}
+        assert hit.error is None
+        assert queue.depth == 0
+        assert queue.inflight_bytes == 0
+        assert queue.stats.total("completed") == 1
+        assert queue.idle()
+        # The freed slot is immediately reusable.
+        queue.submit(entry())
+        queue.submit(entry())
+
+    def test_races_with_a_worker_returns_false(self):
+        queue = make_queue()
+        item = entry()
+        queue.submit(item)
+        taken = queue.take(timeout=0.1)
+        assert taken is item and item.state == RUNNING
+        assert queue.finish_queued(item, {"cached": True}) is False
+        assert not item.done.is_set()
+        assert queue.inflight_bytes == item.nbytes  # still running
+        queue.finish(item, {"computed": True})
+        assert item.result == {"computed": True}
+
+    def test_flow_survivors_still_dequeue_in_order(self):
+        queue = make_queue(capacity=10)
+        first, second, third = entry(), entry(), entry()
+        for item in (first, second, third):
+            queue.submit(item)
+        assert queue.finish_queued(second, "hit")
+        assert queue.take(timeout=0.1) is first
+        assert queue.take(timeout=0.1) is third
+
+    def test_records_wait_for_the_priority_class(self):
+        clock = FakeClock()
+        queue = make_queue(clock=clock, capacity=10)
+        item = entry("a", priority="interactive", clock=clock)
+        queue.submit(item)
+        clock.advance(0.002)
+        queue.finish_queued(item, "hit")
+        snap = queue.stats.snapshot()
+        assert snap["priorities"]["interactive"]["served"] == 1
+        assert snap["priorities"]["interactive"]["queue_wait_p99_ms"] == (
+            pytest.approx(2.0)
+        )
